@@ -1,0 +1,52 @@
+// Ablation: the paper's ripple-carry degree counting (Figs. 7-8) versus a
+// compact controlled-increment counter. Quantifies how much of the oracle's
+// cost the adder-chain construction accounts for — the design choice behind
+// Table V's "degree counting dominates" observation.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "oracle/mkp_oracle.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 2;
+  std::cout << "Ablation -- oracle degree-count realisation "
+               "(paper ripple adders vs compact increments)\n\n";
+
+  AsciiTable table({"Dataset", "ripple gates", "ripple qubits",
+                    "increment gates", "increment qubits", "gate ratio",
+                    "degree-count share ripple (%)",
+                    "degree-count share incr (%)"});
+  for (const DatasetSpec& spec : GateModelDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+    const int threshold = graph.num_vertices() / 2;
+
+    MkpOracleOptions ripple;
+    ripple.degree_count_mode = DegreeCountMode::kRippleAdder;
+    MkpOracleOptions increment;
+    increment.degree_count_mode = DegreeCountMode::kIncrement;
+    const MkpOracle a = MkpOracle::Build(graph, kK, threshold, ripple).value();
+    const MkpOracle b =
+        MkpOracle::Build(graph, kK, threshold, increment).value();
+
+    const OracleCostReport ra = a.CostReport();
+    const OracleCostReport rb = b.CostReport();
+    table.AddRow(
+        {spec.name, std::to_string(a.circuit().num_gates()),
+         std::to_string(a.num_qubits()),
+         std::to_string(b.circuit().num_gates()),
+         std::to_string(b.num_qubits()),
+         FormatDouble(static_cast<double>(a.circuit().num_gates()) /
+                          b.circuit().num_gates(),
+                      2),
+         FormatDouble(100.0 * ra.degree_count / ra.ComputeTotal(), 1),
+         FormatDouble(100.0 * rb.degree_count / rb.ComputeTotal(), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: the literal paper construction pays a multiple "
+               "in gates and ancillas for its textbook adders; with compact "
+               "counters the degree-count stage no longer dominates.\n";
+  return 0;
+}

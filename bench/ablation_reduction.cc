@@ -1,0 +1,49 @@
+// Ablation: effect of the core-truss co-pruning reduction and the degree-
+// support bound on the BS baseline's search effort (the paper integrates
+// the same reduction to fit larger graphs onto bounded-qubit hardware).
+
+#include <iostream>
+
+#include "classical/bs_solver.h"
+#include "classical/reduce.h"
+#include "common/table.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 2;
+  std::cout << "Ablation -- BS search effort with/without reduction and "
+               "support bound (k = 2)\n\n";
+
+  AsciiTable table({"Dataset", "opt", "nodes (full)", "nodes (no reduce)",
+                    "nodes (no bound)", "nodes (plain)", "kept n after CTCP"});
+  for (const DatasetSpec& spec : GateModelDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+
+    auto run = [&](bool reduce, bool bound) {
+      BsSolverOptions options;
+      options.use_reduction = reduce;
+      options.use_support_bound = bound;
+      BsSolver solver(options);
+      const MkpSolution solution = solver.Solve(graph, kK).value();
+      return std::make_pair(solution.size, solver.stats().branch_nodes);
+    };
+    const auto [opt, full] = run(true, true);
+    const auto [opt2, no_reduce] = run(false, true);
+    const auto [opt3, no_bound] = run(true, false);
+    const auto [opt4, plain] = run(false, false);
+    QPLEX_CHECK(opt == opt2 && opt == opt3 && opt == opt4)
+        << "ablation variants disagree on the optimum";
+
+    const ReductionResult reduction = ReduceForTarget(graph, kK, opt + 1);
+    table.AddRow({spec.name, std::to_string(opt), std::to_string(full),
+                  std::to_string(no_reduce), std::to_string(no_bound),
+                  std::to_string(plain),
+                  std::to_string(reduction.reduced.num_vertices())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: both devices prune; the reduction also shrinks "
+               "the instance itself, which is what lets the paper run qMKP "
+               "on graphs beyond raw hardware capacity.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: per-vertex big-M (the paper's M_i = d-bar(v_i) - k + 1) versus a
+// single worst-case big-M for every vertex. Quantifies the slack-bit savings
+// behind the O(n log n) variable bound of Section IV.
+
+#include <iostream>
+
+#include "anneal/simulated_annealer.h"
+#include "common/table.h"
+#include "qubo/mkp_qubo.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 3;
+  std::cout << "Ablation -- per-vertex vs global big-M in the qaMKP QUBO "
+               "(k = 3, R = 2)\n\n";
+
+  AsciiTable table({"Dataset", "vars (per-vertex M)", "vars (global M)",
+                    "saved vars", "quadratic terms (per-vertex)",
+                    "quadratic terms (global)", "SA cost@200 shots (pv)",
+                    "SA cost@200 shots (gl)"});
+  for (const DatasetSpec& spec : AnnealDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+
+    MkpQuboOptions per_vertex;
+    MkpQuboOptions global;
+    global.use_global_big_m = true;
+    const MkpQubo a = BuildMkpQubo(graph, kK, per_vertex).value();
+    const MkpQubo b = BuildMkpQubo(graph, kK, global).value();
+
+    SimulatedAnnealerOptions sa;
+    sa.shots = 200;
+    sa.sweeps_per_shot = 4;
+    sa.seed = 5;
+    const AnnealResult result_a = SimulatedAnnealer(sa).Run(a.model).value();
+    const AnnealResult result_b = SimulatedAnnealer(sa).Run(b.model).value();
+
+    table.AddRow({spec.name, std::to_string(a.num_variables()),
+                  std::to_string(b.num_variables()),
+                  std::to_string(b.num_variables() - a.num_variables()),
+                  std::to_string(a.model.num_quadratic_terms()),
+                  std::to_string(b.model.num_quadratic_terms()),
+                  FormatDouble(result_a.best_energy, 1),
+                  FormatDouble(result_b.best_energy, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: the per-vertex M_i keeps the variable count at "
+               "n(1 + ceil(log2 max{d-bar, k-1})) and typically also anneals "
+               "to lower cost (smaller penalties flatten the landscape).\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig. 10: cost vs runtime for qaMKP / haMKP / SA / MILP on
+// D_{20,100} (k = 3, R = 2, Delta-t = 1 us).
+
+#include "cost_runtime_common.h"
+
+int main() {
+  return qplex::bench::RunCostRuntimeFigure(
+      "Fig. 10", "D_{20,100}", /*qa_budget_micros=*/10000,
+      /*sa_budget_micros=*/100000, /*milp_budget_seconds=*/2.0);
+}

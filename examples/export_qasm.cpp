@@ -1,0 +1,44 @@
+// Exports the paper's complete qTKP circuit (Fig. 12 structure: uniform
+// superposition, six oracle+diffusion Grover iterations over the literal
+// graph-encoding/degree-counting/comparison/size-check oracle) as OpenQASM 3
+// — a runnable artifact for external gate-model toolchains.
+//
+//   $ ./build/examples/export_qasm [output.qasm]
+
+#include <iostream>
+
+#include "graph/instances.h"
+#include "grover/engine.h"
+#include "grover/full_circuit.h"
+#include "oracle/mkp_oracle.h"
+#include "quantum/qasm.h"
+
+int main(int argc, char** argv) {
+  using namespace qplex;
+  const std::string path = argc > 1 ? argv[1] : "qtkp_paper_example.qasm";
+
+  const Graph graph = PaperExampleGraph();
+  const MkpOracle oracle = MkpOracle::Build(graph, 2, 4).value();
+  const int iterations = OptimalGroverIterations(
+      graph.num_vertices(),
+      static_cast<std::int64_t>(oracle.MarkedStates().size()));
+
+  const FullQtkpCircuit full =
+      BuildFullQtkpCircuit(graph, /*k=*/2, /*threshold=*/4, iterations)
+          .value();
+  std::cout << "qTKP circuit for " << graph.ToString() << ", k=2, T=4: "
+            << full.circuit.num_qubits() << " qubits, "
+            << full.circuit.num_gates() << " gates, " << iterations
+            << " Grover iterations\n";
+
+  const Status status = WriteQasm3File(full.circuit, path);
+  if (!status.ok()) {
+    std::cerr << "export failed: " << status << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n"
+            << "Measure the first " << full.num_vertex_qubits
+            << " qubits; with overwhelming probability they read the "
+               "maximum 2-plex {v1,v2,v4,v5} (little-endian mask 27).\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "anneal/annealer.h"
+
+namespace qplex {
+namespace anneal_internal {
+
+void RecordSample(const QuboModel& model, const QuboSample& sample,
+                  double budget_micros, AnnealResult* result) {
+  const double energy = model.Evaluate(sample);
+  if (result->best_sample.empty() || energy < result->best_energy) {
+    result->best_energy = energy;
+    result->best_sample = sample;
+  }
+  result->trace.push_back(CostTracePoint{budget_micros, result->best_energy});
+}
+
+QuboSample RandomSample(int num_variables, Rng& rng) {
+  QuboSample sample(num_variables);
+  for (int i = 0; i < num_variables; ++i) {
+    sample[i] = static_cast<std::uint8_t>(rng.Next() & 1);
+  }
+  return sample;
+}
+
+}  // namespace anneal_internal
+}  // namespace qplex

@@ -1,0 +1,51 @@
+#ifndef QPLEX_ANNEAL_ANNEALER_H_
+#define QPLEX_ANNEAL_ANNEALER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "qubo/qubo_model.h"
+
+namespace qplex {
+
+/// One point on an anytime cost curve: best energy seen after spending
+/// `budget_micros` of modeled annealer time.
+struct CostTracePoint {
+  double budget_micros = 0;
+  double energy = 0;
+};
+
+/// Common result type of every annealing-style solver.
+struct AnnealResult {
+  QuboSample best_sample;
+  double best_energy = 0;
+  /// Total shots (independent anneals) performed.
+  int shots = 0;
+  /// Monte Carlo sweeps executed in total.
+  std::int64_t sweeps = 0;
+  /// Modeled annealer time consumed (shots x per-shot annealing time).
+  double modeled_micros = 0;
+  /// Wall-clock seconds the simulation itself took.
+  double wall_seconds = 0;
+  /// Anytime curve: best energy after each shot's worth of modeled time.
+  std::vector<CostTracePoint> trace;
+};
+
+/// Shared base utilities for the annealers.
+namespace anneal_internal {
+
+/// Updates `result` with a candidate sample; appends a trace point at
+/// `budget_micros`.
+void RecordSample(const QuboModel& model, const QuboSample& sample,
+                  double budget_micros, AnnealResult* result);
+
+/// A deterministic random initial sample.
+QuboSample RandomSample(int num_variables, Rng& rng);
+
+}  // namespace anneal_internal
+
+}  // namespace qplex
+
+#endif  // QPLEX_ANNEAL_ANNEALER_H_

@@ -1,0 +1,93 @@
+#include "anneal/hybrid_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anneal/simulated_annealer.h"
+#include "common/stopwatch.h"
+
+namespace qplex {
+
+int SteepestDescent(const QuboModel& model, QuboSample* sample) {
+  QPLEX_CHECK(sample != nullptr &&
+              static_cast<int>(sample->size()) == model.num_variables())
+      << "sample arity mismatch";
+  int flips = 0;
+  for (;;) {
+    int best_var = -1;
+    double best_delta = -1e-12;  // strict improvement only
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const double delta = model.FlipDelta(*sample, i);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_var = i;
+      }
+    }
+    if (best_var < 0) {
+      return flips;
+    }
+    (*sample)[best_var] ^= 1;
+    ++flips;
+  }
+}
+
+Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
+  if (options_.min_runtime_micros <= 0 || options_.sweeps_per_restart < 1) {
+    return Status::InvalidArgument("bad hybrid solver options");
+  }
+  Stopwatch watch;
+  AnnealResult result;
+  Rng rng(options_.seed);
+
+  SimulatedAnnealerOptions sa_options;
+  sa_options.sweeps_per_shot = options_.sweeps_per_restart;
+  sa_options.shots = 1;
+  sa_options.beta_final = 8.0;
+  sa_options.micros_per_sweep = options_.micros_per_sweep;
+
+  while (result.modeled_micros < options_.min_runtime_micros &&
+         result.shots < options_.max_restarts) {
+    sa_options.seed = rng.Next();
+    SimulatedAnnealer annealer(sa_options);
+    QPLEX_ASSIGN_OR_RETURN(AnnealResult restart, annealer.Run(model));
+    QuboSample polished = restart.best_sample;
+    int flips = SteepestDescent(model, &polished);
+    if (options_.refine) {
+      options_.refine(&polished);
+      flips += SteepestDescent(model, &polished);
+    }
+    result.sweeps += restart.sweeps + flips;  // polish counted as sweeps
+    result.modeled_micros +=
+        restart.modeled_micros + flips * options_.micros_per_sweep;
+    ++result.shots;
+    anneal_internal::RecordSample(model, polished, result.modeled_micros,
+                                  &result);
+
+    // Basin hopping around the incumbent: perturb a few bits of the best
+    // sample and re-polish. This is the "classical supercomputing" half of
+    // the hybrid service's portfolio.
+    QuboSample hop = result.best_sample;
+    const int kicks = 2 + static_cast<int>(rng.UniformInt(3));
+    for (int kick = 0; kick < kicks; ++kick) {
+      hop[rng.UniformInt(static_cast<std::uint64_t>(hop.size()))] ^= 1;
+    }
+    int hop_flips = SteepestDescent(model, &hop);
+    if (options_.refine) {
+      options_.refine(&hop);
+      hop_flips += SteepestDescent(model, &hop);
+    }
+    result.sweeps += hop_flips;
+    result.modeled_micros += hop_flips * options_.micros_per_sweep;
+    anneal_internal::RecordSample(model, hop, result.modeled_micros, &result);
+  }
+  // The service returns no earlier than its runtime floor.
+  result.modeled_micros =
+      std::max(result.modeled_micros, options_.min_runtime_micros);
+  if (!result.trace.empty()) {
+    result.trace.back().budget_micros = result.modeled_micros;
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qplex

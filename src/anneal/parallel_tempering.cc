@@ -1,0 +1,80 @@
+#include "anneal/parallel_tempering.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace qplex {
+
+Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
+  if (options_.num_replicas < 2) {
+    return Status::InvalidArgument("need at least 2 replicas");
+  }
+  if (options_.beta_min <= 0 || options_.beta_max < options_.beta_min) {
+    return Status::InvalidArgument("need 0 < beta_min <= beta_max");
+  }
+  if (options_.sweeps_per_round < 1 || options_.rounds < 1) {
+    return Status::InvalidArgument("sweeps and rounds must be positive");
+  }
+
+  const int n = model.num_variables();
+  const int R = options_.num_replicas;
+  Stopwatch watch;
+  AnnealResult result;
+  Rng rng(options_.seed);
+
+  // Geometric beta ladder: replica 0 hottest, R-1 coldest.
+  std::vector<double> betas(R);
+  const double ratio =
+      std::pow(options_.beta_max / options_.beta_min, 1.0 / (R - 1));
+  betas[0] = options_.beta_min;
+  for (int r = 1; r < R; ++r) {
+    betas[r] = betas[r - 1] * ratio;
+  }
+
+  std::vector<QuboSample> replicas;
+  std::vector<double> energies;
+  replicas.reserve(R);
+  for (int r = 0; r < R; ++r) {
+    replicas.push_back(anneal_internal::RandomSample(n, rng));
+    energies.push_back(model.Evaluate(replicas.back()));
+  }
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    // Metropolis sweeps per replica at its own temperature.
+    for (int r = 0; r < R; ++r) {
+      for (int sweep = 0; sweep < options_.sweeps_per_round; ++sweep) {
+        for (int i = 0; i < n; ++i) {
+          const double delta = model.FlipDelta(replicas[r], i);
+          if (delta <= 0 ||
+              rng.UniformDouble() < std::exp(-betas[r] * delta)) {
+            replicas[r][i] ^= 1;
+            energies[r] += delta;
+          }
+        }
+      }
+      result.sweeps += options_.sweeps_per_round;
+    }
+    // Replica-exchange: swap adjacent temperatures with the Metropolis
+    // acceptance exp((beta_a - beta_b)(E_a - E_b)).
+    for (int r = 0; r + 1 < R; ++r) {
+      const double log_accept =
+          (betas[r] - betas[r + 1]) * (energies[r] - energies[r + 1]);
+      if (log_accept >= 0 || rng.UniformDouble() < std::exp(log_accept)) {
+        std::swap(replicas[r], replicas[r + 1]);
+        std::swap(energies[r], energies[r + 1]);
+      }
+    }
+    result.modeled_micros +=
+        options_.micros_per_sweep * options_.sweeps_per_round * R;
+    // Record the coldest replica (and implicitly the global best).
+    anneal_internal::RecordSample(model, replicas[R - 1],
+                                  result.modeled_micros, &result);
+  }
+  result.shots = options_.rounds;
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qplex

@@ -1,0 +1,56 @@
+#ifndef QPLEX_ANNEAL_PATH_INTEGRAL_ANNEALER_H_
+#define QPLEX_ANNEAL_PATH_INTEGRAL_ANNEALER_H_
+
+#include <cstdint>
+
+#include "anneal/annealer.h"
+
+namespace qplex {
+
+/// Simulated quantum annealing (path-integral Monte Carlo over Trotter
+/// replicas with a decaying transverse field) — qplex's stand-in for the
+/// D-Wave Advantage QPU that runs qaMKP in the paper. The knobs mirror the
+/// physical device's interface: an annealing time per shot (Delta-t) and a
+/// shot count s, with total modeled runtime t = Delta-t * s (Section V,
+/// "Annealing time of qaMKP").
+struct PathIntegralAnnealerOptions {
+  /// Trotter replicas approximating the quantum system.
+  int replicas = 16;
+  /// Inverse temperature of the path-integral ensemble.
+  double beta = 2.0;
+  /// Transverse-field schedule per shot: Gamma falls linearly from initial
+  /// to final across the shot's sweeps (the device's annealing schedule).
+  double gamma_initial = 3.0;
+  double gamma_final = 0.05;
+  /// Annealing time per shot in microseconds (the paper's Delta-t).
+  double annealing_time_micros = 1.0;
+  /// How many Monte Carlo sweeps one microsecond of annealing maps to; the
+  /// calibration constant of the substitution, documented in EXPERIMENTS.md.
+  double sweeps_per_micro = 8.0;
+  /// Device saturation: single-shot quality on physical annealers stops
+  /// improving beyond a short annealing time at these problem sizes (the
+  /// paper's Table VI finding — 1 us anneals already saturate); annealing
+  /// time past this point consumes budget without adding sweeps. Set to a
+  /// huge value to disable the effect.
+  double saturation_micros = 2.0;
+  int shots = 100;
+  std::uint64_t seed = 1;
+};
+
+class PathIntegralAnnealer {
+ public:
+  explicit PathIntegralAnnealer(PathIntegralAnnealerOptions options = {})
+      : options_(options) {}
+
+  /// Minimizes `model`. Each shot anneals `replicas` coupled copies and
+  /// reports the best replica; the anytime trace advances by Delta-t per
+  /// shot.
+  Result<AnnealResult> Run(const QuboModel& model) const;
+
+ private:
+  PathIntegralAnnealerOptions options_;
+};
+
+}  // namespace qplex
+
+#endif  // QPLEX_ANNEAL_PATH_INTEGRAL_ANNEALER_H_

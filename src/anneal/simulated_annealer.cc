@@ -1,0 +1,57 @@
+#include "anneal/simulated_annealer.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace qplex {
+
+Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
+  if (options_.shots < 1 || options_.sweeps_per_shot < 1) {
+    return Status::InvalidArgument("shots and sweeps must be positive");
+  }
+  if (options_.beta_initial <= 0 ||
+      options_.beta_final < options_.beta_initial) {
+    return Status::InvalidArgument("need 0 < beta_initial <= beta_final");
+  }
+  const int n = model.num_variables();
+  Stopwatch watch;
+  AnnealResult result;
+  Rng rng(options_.seed);
+
+  // Geometric beta ladder shared by every shot.
+  std::vector<double> betas(options_.sweeps_per_shot);
+  const double ratio =
+      options_.sweeps_per_shot == 1
+          ? 1.0
+          : std::pow(options_.beta_final / options_.beta_initial,
+                     1.0 / (options_.sweeps_per_shot - 1));
+  double beta = options_.beta_initial;
+  for (int s = 0; s < options_.sweeps_per_shot; ++s) {
+    betas[s] = beta;
+    beta *= ratio;
+  }
+
+  for (int shot = 0; shot < options_.shots; ++shot) {
+    QuboSample sample = anneal_internal::RandomSample(n, rng);
+    for (int sweep = 0; sweep < options_.sweeps_per_shot; ++sweep) {
+      const double b = betas[sweep];
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(sample, i);
+        if (delta <= 0 || rng.UniformDouble() < std::exp(-b * delta)) {
+          sample[i] ^= 1;
+        }
+      }
+      ++result.sweeps;
+    }
+    ++result.shots;
+    result.modeled_micros +=
+        options_.micros_per_sweep * options_.sweeps_per_shot;
+    anneal_internal::RecordSample(model, sample, result.modeled_micros,
+                                  &result);
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qplex

@@ -1,0 +1,40 @@
+#ifndef QPLEX_ANNEAL_SIMULATED_ANNEALER_H_
+#define QPLEX_ANNEAL_SIMULATED_ANNEALER_H_
+
+#include <cstdint>
+
+#include "anneal/annealer.h"
+
+namespace qplex {
+
+/// Classical simulated annealing over a QUBO — the paper's "SA" baseline.
+/// Runtime is controlled exactly as in the paper: a fixed number of sweeps
+/// per shot and a shot count (Section V, comparison setup: "we fix the number
+/// of sweeps to 2 and vary s").
+struct SimulatedAnnealerOptions {
+  int sweeps_per_shot = 2;
+  int shots = 100;
+  /// Inverse-temperature schedule: beta rises geometrically from beta_initial
+  /// to beta_final across the sweeps of one shot.
+  double beta_initial = 0.1;
+  double beta_final = 5.0;
+  /// Modeled time one sweep costs, for the anytime curves (micros).
+  double micros_per_sweep = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class SimulatedAnnealer {
+ public:
+  explicit SimulatedAnnealer(SimulatedAnnealerOptions options = {})
+      : options_(options) {}
+
+  /// Minimizes `model`; every shot starts from a fresh random sample.
+  Result<AnnealResult> Run(const QuboModel& model) const;
+
+ private:
+  SimulatedAnnealerOptions options_;
+};
+
+}  // namespace qplex
+
+#endif  // QPLEX_ANNEAL_SIMULATED_ANNEALER_H_

@@ -1,0 +1,79 @@
+#include "arith/adder.h"
+
+namespace qplex {
+
+int BitWidthFor(std::uint64_t max_value) {
+  int width = 1;
+  while ((max_value >> width) != 0) {
+    ++width;
+  }
+  return width;
+}
+
+void AppendFullAdder(Circuit* circuit, const FullAdderWires& wires) {
+  // Boxes A-E of the paper's Fig. 7, in order.
+  circuit->Append(MakeCCX(wires.x, wires.y, wires.and_xy));       // A
+  circuit->Append(MakeCX(wires.x, wires.y));                      // B
+  circuit->Append(MakeCCX(wires.y, wires.carry_in, wires.carry_out));  // C
+  circuit->Append(MakeCX(wires.y, wires.carry_in));               // D
+  circuit->Append(MakeCX(wires.and_xy, wires.carry_out));         // E
+}
+
+AdderResult AppendRippleCarryAdder(Circuit* circuit,
+                                   const std::vector<int>& x_wires,
+                                   const std::vector<int>& y_wires) {
+  QPLEX_CHECK(x_wires.size() == y_wires.size())
+      << "adder operands must have equal width";
+  const int width = static_cast<int>(x_wires.size());
+  QPLEX_CHECK(width >= 1) << "adder needs at least one bit";
+
+  // One fresh carry-in wire per position (bit 0's carry-in starts |0>), plus
+  // one AND ancilla per full adder. Each full adder writes the position's sum
+  // into its carry-in wire and its carry into the next position's carry-in.
+  const QubitRange carries = circuit->AllocateAncilla("add.carry", width + 1);
+  const QubitRange ands = circuit->AllocateAncilla("add.and", width);
+
+  AdderResult result;
+  result.sum_wires.reserve(width + 1);
+  for (int i = 0; i < width; ++i) {
+    FullAdderWires wires;
+    wires.x = x_wires[i];
+    wires.y = y_wires[i];
+    wires.carry_in = carries[i];
+    wires.and_xy = ands[i];
+    wires.carry_out = carries[i + 1];
+    AppendFullAdder(circuit, wires);
+    result.sum_wires.push_back(carries[i]);
+  }
+  result.sum_wires.push_back(carries[width]);
+  return result;
+}
+
+void AppendControlledIncrement(Circuit* circuit,
+                               const std::vector<Control>& controls,
+                               const QubitRange& target) {
+  QPLEX_CHECK(target.width >= 1) << "increment target must be non-empty";
+  // To add 1, flip bit j iff all lower bits are 1 (a carry propagates up to
+  // it). Applying from the most significant bit down lets every gate read the
+  // *pre-increment* values of the lower bits.
+  for (int j = target.width - 1; j >= 0; --j) {
+    std::vector<Control> wires = controls;
+    for (int low = 0; low < j; ++low) {
+      wires.push_back(Control{target[low], true});
+    }
+    circuit->Append(MakeMCX(std::move(wires), target[j]));
+  }
+}
+
+void AppendControlledIncrement(Circuit* circuit,
+                               const std::vector<int>& controls,
+                               const QubitRange& target) {
+  std::vector<Control> wires;
+  wires.reserve(controls.size());
+  for (int q : controls) {
+    wires.push_back(Control{q, true});
+  }
+  AppendControlledIncrement(circuit, wires, target);
+}
+
+}  // namespace qplex

@@ -1,0 +1,67 @@
+#ifndef QPLEX_ARITH_ADDER_H_
+#define QPLEX_ARITH_ADDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Reversible integer arithmetic, built exactly the way the paper assembles
+/// its degree-counting oracle stage: a one-qubit full adder (Fig. 7) chained
+/// into a multi-qubit ripple-carry adder (Fig. 8), plus the compact
+/// controlled-increment counter the production oracle uses.
+
+/// Number of bits needed to store values 0..max_value (at least 1).
+int BitWidthFor(std::uint64_t max_value);
+
+/// Wire roles of one full-adder block (paper Fig. 7).
+struct FullAdderWires {
+  int x;        ///< input x (preserved)
+  int y;        ///< input y; LEFT DIRTY as x XOR y
+  int carry_in; ///< input carry; overwritten with sum = x ^ y ^ c_in
+  int and_xy;   ///< fresh |0>; left dirty as x AND y
+  int carry_out;///< fresh |0>; receives the carry bit
+};
+
+/// Appends the paper's 5-gate full adder (boxes A-E of Fig. 7):
+///   A: CCX(x, y -> and_xy)         and_xy := x AND y
+///   B: CX(x -> y)                  y := x XOR y
+///   C: CCX(y, carry_in -> carry_out)
+///   D: CX(y -> carry_in)           carry_in := sum
+///   E: CX(and_xy -> carry_out)     carry_out := (x AND y) XOR (c_in AND (x XOR y))
+void AppendFullAdder(Circuit* circuit, const FullAdderWires& wires);
+
+/// Result of a ripple-carry addition x + y.
+struct AdderResult {
+  /// Wires holding the sum bits, little-endian; width + 1 entries
+  /// (the top entry is the final carry / overflow bit).
+  std::vector<int> sum_wires;
+};
+
+/// Appends a ripple-carry adder computing x + y (both `width` bits,
+/// little-endian wire lists) following the paper's Fig. 8 cascade of full
+/// adders. Input x wires are preserved; y wires are left dirty (x XOR y);
+/// fresh ancillas are allocated internally. The sum appears on the returned
+/// wires.
+AdderResult AppendRippleCarryAdder(Circuit* circuit,
+                                   const std::vector<int>& x_wires,
+                                   const std::vector<int>& y_wires);
+
+/// Appends a controlled increment: when every listed control fires, adds 1
+/// (mod 2^width) to the little-endian register `target`. This is the compact
+/// accumulator the production oracle uses for degree counting; it needs no
+/// ancillas (MCX cascade from the top bit down).
+void AppendControlledIncrement(Circuit* circuit,
+                               const std::vector<Control>& controls,
+                               const QubitRange& target);
+
+/// Convenience overload with all-positive controls.
+void AppendControlledIncrement(Circuit* circuit,
+                               const std::vector<int>& controls,
+                               const QubitRange& target);
+
+}  // namespace qplex
+
+#endif  // QPLEX_ARITH_ADDER_H_

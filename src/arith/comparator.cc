@@ -1,0 +1,88 @@
+#include "arith/comparator.h"
+
+#include "arith/adder.h"
+
+namespace qplex {
+
+void AppendLessEqual(Circuit* circuit, const std::vector<int>& x_wires,
+                     const std::vector<int>& y_wires, int output) {
+  QPLEX_CHECK(x_wires.size() == y_wires.size())
+      << "comparator operands must have equal width";
+  const int width = static_cast<int>(x_wires.size());
+  QPLEX_CHECK(width >= 1) << "comparator needs at least one bit";
+
+  const QubitRange less = circuit->AllocateAncilla("cmp.lt", width);
+  const QubitRange equal = circuit->AllocateAncilla("cmp.eq", width);
+  const QubitRange terms = circuit->AllocateAncilla("cmp.term", width + 1);
+
+  // Box A (Fig. 10): lt_i = NOT(x_i) AND y_i.
+  for (int i = 0; i < width; ++i) {
+    circuit->Append(MakeMCX(
+        std::vector<Control>{Control{x_wires[i], false},
+                             Control{y_wires[i], true}},
+        less[i]));
+  }
+  // Box B: eq_i = NOT(x_i XOR y_i).
+  for (int i = 0; i < width; ++i) {
+    circuit->Append(MakeCX(x_wires[i], equal[i]));
+    circuit->Append(MakeCX(y_wires[i], equal[i]));
+    circuit->Append(MakeX(equal[i]));
+  }
+  // Box C: one conjunction term per disjunct of Eq. 5. Scanning from the MSB
+  // (index width-1 in little-endian wires): term_j = eq over all higher bits
+  // AND lt at bit j; the final term requires equality everywhere.
+  for (int j = width - 1; j >= 0; --j) {
+    std::vector<int> controls;
+    for (int high = width - 1; high > j; --high) {
+      controls.push_back(equal[high]);
+    }
+    controls.push_back(less[j]);
+    circuit->Append(MakeMCX(std::move(controls), terms[width - 1 - j]));
+  }
+  {
+    std::vector<int> controls;
+    for (int i = width - 1; i >= 0; --i) {
+      controls.push_back(equal[i]);
+    }
+    circuit->Append(MakeMCX(std::move(controls), terms[width]));
+  }
+  // Box D: the disjuncts are mutually exclusive (they pin the position of the
+  // first differing bit), so OR == XOR and a CNOT chain suffices.
+  for (int t = 0; t <= width; ++t) {
+    circuit->Append(MakeCX(terms[t], output));
+  }
+}
+
+std::vector<int> AllocateConstantRegister(Circuit* circuit,
+                                          std::uint64_t constant, int width,
+                                          const char* hint) {
+  QPLEX_CHECK(width >= 1 && width <= 64) << "bad constant width " << width;
+  QPLEX_CHECK(width == 64 || (constant >> width) == 0)
+      << "constant " << constant << " does not fit in " << width << " bits";
+  const QubitRange reg = circuit->AllocateAncilla(hint, width);
+  std::vector<int> wires;
+  wires.reserve(width);
+  for (int i = 0; i < width; ++i) {
+    if ((constant >> i) & 1) {
+      circuit->Append(MakeX(reg[i]));
+    }
+    wires.push_back(reg[i]);
+  }
+  return wires;
+}
+
+void AppendLessEqualConst(Circuit* circuit, const std::vector<int>& x_wires,
+                          std::uint64_t constant, int output) {
+  const std::vector<int> constant_wires = AllocateConstantRegister(
+      circuit, constant, static_cast<int>(x_wires.size()), "cmp.const");
+  AppendLessEqual(circuit, x_wires, constant_wires, output);
+}
+
+void AppendGreaterEqualConst(Circuit* circuit, const std::vector<int>& x_wires,
+                             std::uint64_t constant, int output) {
+  const std::vector<int> constant_wires = AllocateConstantRegister(
+      circuit, constant, static_cast<int>(x_wires.size()), "cmp.const");
+  AppendLessEqual(circuit, constant_wires, x_wires, output);
+}
+
+}  // namespace qplex

@@ -1,0 +1,43 @@
+#ifndef QPLEX_ARITH_COMPARATOR_H_
+#define QPLEX_ARITH_COMPARATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Reversible unsigned comparison following the paper's Eq. 5/6 and Fig. 10:
+/// scan from the most significant bit; x <= y iff the first differing bit has
+/// x_i < y_i, or no bit differs. The disjuncts are mutually exclusive, so the
+/// final OR is realised as a CNOT chain.
+
+/// Appends a circuit computing [x <= y] into `output` (a fresh |0> wire).
+/// `x_wires`/`y_wires` are little-endian and equal width; both inputs are
+/// preserved. Ancillas (per-bit less-than, per-bit equality, per-position
+/// conjunction terms) are allocated internally and left dirty — the oracle
+/// uncomputes them with the global U^dagger.
+void AppendLessEqual(Circuit* circuit, const std::vector<int>& x_wires,
+                     const std::vector<int>& y_wires, int output);
+
+/// Appends a comparison of a register against a compile-time constant:
+/// [x <= constant] into `output`. Loads the constant into a fresh register
+/// with X gates (the |k-1> input register of the paper's Fig. 9).
+void AppendLessEqualConst(Circuit* circuit, const std::vector<int>& x_wires,
+                          std::uint64_t constant, int output);
+
+/// Appends [x >= constant] into `output`, i.e. [constant <= x] — the size
+/// >= T check of the paper's Fig. 11.
+void AppendGreaterEqualConst(Circuit* circuit, const std::vector<int>& x_wires,
+                             std::uint64_t constant, int output);
+
+/// Returns the wires of a fresh register loaded with `constant`
+/// (little-endian, `width` bits).
+std::vector<int> AllocateConstantRegister(Circuit* circuit,
+                                          std::uint64_t constant, int width,
+                                          const char* hint);
+
+}  // namespace qplex
+
+#endif  // QPLEX_ARITH_COMPARATOR_H_

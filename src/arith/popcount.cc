@@ -1,0 +1,14 @@
+#include "arith/popcount.h"
+
+#include "arith/adder.h"
+
+namespace qplex {
+
+void AppendPopCount(Circuit* circuit, const std::vector<int>& inputs,
+                    const QubitRange& counter) {
+  for (int wire : inputs) {
+    AppendControlledIncrement(circuit, std::vector<int>{wire}, counter);
+  }
+}
+
+}  // namespace qplex

@@ -1,0 +1,21 @@
+#ifndef QPLEX_ARITH_POPCOUNT_H_
+#define QPLEX_ARITH_POPCOUNT_H_
+
+#include <vector>
+
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Appends a population-count accumulator: for every wire in `inputs`, adds
+/// its value into the little-endian `counter` register via a controlled
+/// increment. This realises the paper's control-a degree/size counting gates
+/// (Fig. 6 box B and Fig. 11 box A). The counter must be wide enough to hold
+/// |inputs| (see BitWidthFor); on overflow the count wraps, so callers size
+/// the register from the true maximum.
+void AppendPopCount(Circuit* circuit, const std::vector<int>& inputs,
+                    const QubitRange& counter);
+
+}  // namespace qplex
+
+#endif  // QPLEX_ARITH_POPCOUNT_H_

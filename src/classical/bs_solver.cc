@@ -1,0 +1,264 @@
+#include "classical/bs_solver.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "classical/reduce.h"
+#include "graph/kplex.h"
+
+namespace qplex {
+namespace {
+
+/// Greedy initial lower bound: repeatedly grow a plex from each seed vertex
+/// by adding the highest-degree compatible candidate.
+MkpSolution GreedyKPlex(const Graph& graph,
+                        const std::vector<std::uint64_t>& adjacency, int k) {
+  const int n = graph.num_vertices();
+  MkpSolution best;
+  for (Vertex seed = 0; seed < n; ++seed) {
+    std::uint64_t chosen = std::uint64_t{1} << seed;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      const int size = std::popcount(chosen);
+      Vertex pick = -1;
+      int pick_degree = -1;
+      for (Vertex v = 0; v < n; ++v) {
+        if ((chosen >> v) & 1) {
+          continue;
+        }
+        const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
+        // v addable: v has enough neighbours, and no member becomes deficient.
+        if (DegreeInMask(adjacency, v, chosen) < size + 1 - k) {
+          continue;
+        }
+        bool feasible = true;
+        std::uint64_t rest = chosen;
+        while (rest != 0) {
+          const int u = std::countr_zero(rest);
+          rest &= rest - 1;
+          if (DegreeInMask(adjacency, u, with_v) < size + 1 - k) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible && graph.Degree(v) > pick_degree) {
+          pick = v;
+          pick_degree = graph.Degree(v);
+        }
+      }
+      if (pick >= 0) {
+        chosen |= std::uint64_t{1} << pick;
+        grew = true;
+      }
+    }
+    const int size = std::popcount(chosen);
+    if (size > best.size) {
+      best.size = size;
+      best.mask = chosen;
+    }
+  }
+  best.members = MaskToBitset(n, best.mask).ToList();
+  return best;
+}
+
+}  // namespace
+
+struct BsSolver::SearchContext {
+  const Graph* graph = nullptr;
+  std::vector<std::uint64_t> adjacency;
+  int n = 0;
+  int k = 0;
+  MkpSolution best;
+  Deadline deadline = Deadline::Infinite();
+  bool aborted = false;
+  const BsSolverOptions* options = nullptr;
+  /// Maps reduced-graph ids back to the caller's ids before invoking the
+  /// user's on_incumbent callback.
+  std::function<void(const MkpSolution&)> report_incumbent;
+};
+
+void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
+                      std::uint64_t candidates) {
+  if (ctx.aborted) {
+    return;
+  }
+  ++stats_.branch_nodes;
+  if ((stats_.branch_nodes & 0x3FF) == 0 && ctx.deadline.Expired()) {
+    ctx.aborted = true;
+    return;
+  }
+
+  const int size = std::popcount(chosen);
+  if (size > ctx.best.size) {
+    ctx.best.size = size;
+    ctx.best.mask = chosen;
+    ctx.best.members = MaskToBitset(ctx.n, chosen).ToList();
+    if (ctx.report_incumbent) {
+      ctx.report_incumbent(ctx.best);
+    }
+  }
+
+  // Filter candidates: v may join only if P + v is still a k-plex, and a v
+  // that fails now can never recover (its deficit only grows as P grows).
+  std::uint64_t filtered = 0;
+  std::uint64_t scan = candidates & ~chosen;
+  while (scan != 0) {
+    const int v = std::countr_zero(scan);
+    scan &= scan - 1;
+    if (DegreeInMask(ctx.adjacency, v, chosen) < size + 1 - ctx.k) {
+      ++stats_.prunes_infeasible;
+      continue;
+    }
+    const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
+    bool feasible = true;
+    std::uint64_t members = chosen;
+    while (members != 0) {
+      const int u = std::countr_zero(members);
+      members &= members - 1;
+      if (DegreeInMask(ctx.adjacency, u, with_v) < size + 1 - ctx.k) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      filtered |= std::uint64_t{1} << v;
+    } else {
+      ++stats_.prunes_infeasible;
+    }
+  }
+
+  if (filtered == 0) {
+    return;
+  }
+
+  // Size bound.
+  int upper = size + std::popcount(filtered);
+  // Degree-support bound: any extension P* satisfies, for every u in P,
+  // |P*| <= deg_P(u) + deg_C(u) + k.
+  if (ctx.options->use_support_bound) {
+    std::uint64_t members = chosen;
+    while (members != 0) {
+      const int u = std::countr_zero(members);
+      members &= members - 1;
+      upper = std::min(upper, DegreeInMask(ctx.adjacency, u, chosen) +
+                                  DegreeInMask(ctx.adjacency, u, filtered) +
+                                  ctx.k);
+    }
+  }
+  if (upper <= ctx.best.size) {
+    ++stats_.prunes_bound;
+    return;
+  }
+
+  // Branch on the candidate with the highest connectivity into P + C (the
+  // "most constrained first" rule of branch-and-search solvers).
+  int pick = -1;
+  int pick_score = -1;
+  std::uint64_t pool = filtered;
+  while (pool != 0) {
+    const int v = std::countr_zero(pool);
+    pool &= pool - 1;
+    const int score = DegreeInMask(ctx.adjacency, v, chosen | filtered);
+    if (score > pick_score) {
+      pick = v;
+      pick_score = score;
+    }
+  }
+  const std::uint64_t pick_bit = std::uint64_t{1} << pick;
+  Branch(ctx, chosen | pick_bit, filtered & ~pick_bit);
+  Branch(ctx, chosen, filtered & ~pick_bit);
+}
+
+Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
+  const int n = graph.num_vertices();
+  if (n > 64) {
+    return Status::InvalidArgument("BsSolver requires n <= 64");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  stats_ = BsSolverStats{};
+  Stopwatch watch;
+
+  MkpSolution best;
+  if (n == 0) {
+    return best;
+  }
+
+  const auto adjacency = AdjacencyMasks(graph);
+  best = GreedyKPlex(graph, adjacency, k);
+  if (options_.on_incumbent && best.size > 0) {
+    options_.on_incumbent(best);
+  }
+
+  // Reduce the graph for "strictly better than the greedy bound" and search
+  // the reduced instance; the greedy incumbent survives as the fallback.
+  const Graph* search_graph = &graph;
+  ReductionResult reduction;
+  if (options_.use_reduction) {
+    reduction = ReduceForTarget(graph, k, best.size + 1);
+    search_graph = &reduction.reduced;
+  }
+
+  SearchContext ctx;
+  ctx.graph = search_graph;
+  ctx.n = search_graph->num_vertices();
+  ctx.k = k;
+  ctx.options = &options_;
+  ctx.deadline = options_.time_limit_seconds > 0
+                     ? Deadline::After(options_.time_limit_seconds)
+                     : Deadline::Infinite();
+  if (ctx.n > 0) {
+    ctx.adjacency = AdjacencyMasks(*search_graph);
+  }
+  // Seed the bound with the incumbent size (solution masks live in different
+  // id spaces, so only the size transfers).
+  ctx.best.size = best.size;
+  if (options_.on_incumbent) {
+    ctx.report_incumbent = [&](const MkpSolution& reduced_solution) {
+      MkpSolution mapped;
+      mapped.size = reduced_solution.size;
+      for (Vertex v : reduced_solution.members) {
+        const Vertex original =
+            options_.use_reduction ? reduction.new_to_old[v] : v;
+        mapped.members.push_back(original);
+        mapped.mask |= std::uint64_t{1} << original;
+      }
+      std::sort(mapped.members.begin(), mapped.members.end());
+      options_.on_incumbent(mapped);
+    };
+  }
+
+  if (ctx.n > 0) {
+    const std::uint64_t all =
+        ctx.n == 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << ctx.n) - 1;
+    Branch(ctx, 0, all);
+  }
+
+  stats_.elapsed_seconds = watch.ElapsedSeconds();
+  stats_.completed = !ctx.aborted;
+
+  if (ctx.best.size > best.size && !ctx.best.members.empty()) {
+    // Map reduced-graph ids back to original ids.
+    MkpSolution mapped;
+    mapped.size = ctx.best.size;
+    for (Vertex v : ctx.best.members) {
+      const Vertex original =
+          options_.use_reduction ? reduction.new_to_old[v] : v;
+      mapped.members.push_back(original);
+      mapped.mask |= std::uint64_t{1} << original;
+    }
+    std::sort(mapped.members.begin(), mapped.members.end());
+    best = mapped;
+  }
+
+  if (ctx.aborted) {
+    // Deadline fired; report the incumbent through stats_ and a soft error.
+    return best;
+  }
+  return best;
+}
+
+}  // namespace qplex

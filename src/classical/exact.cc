@@ -1,0 +1,54 @@
+#include "classical/exact.h"
+
+#include <bit>
+
+#include "graph/kplex.h"
+
+namespace qplex {
+
+Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
+  const int n = graph.num_vertices();
+  if (n > 30) {
+    return Status::InvalidArgument("enumeration limited to n <= 30");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  MkpSolution best;
+  if (n == 0) {
+    return best;
+  }
+  const auto adjacency = AdjacencyMasks(graph);
+  const std::uint64_t space = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < space; ++mask) {
+    const int size = std::popcount(mask);
+    if (size > best.size && IsKPlexMask(adjacency, mask, k)) {
+      best.size = size;
+      best.mask = mask;
+    }
+  }
+  best.members = MaskToBitset(n, best.mask).ToList();
+  return best;
+}
+
+Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
+                                        int threshold) {
+  const int n = graph.num_vertices();
+  if (n > 30) {
+    return Status::InvalidArgument("enumeration limited to n <= 30");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const auto adjacency = AdjacencyMasks(graph);
+  const std::uint64_t space = std::uint64_t{1} << n;
+  std::int64_t count = 0;
+  for (std::uint64_t mask = 0; mask < space; ++mask) {
+    if (std::popcount(mask) >= threshold && IsKPlexMask(adjacency, mask, k)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace qplex

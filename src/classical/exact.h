@@ -1,0 +1,29 @@
+#ifndef QPLEX_CLASSICAL_EXACT_H_
+#define QPLEX_CLASSICAL_EXACT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// A maximum k-plex answer.
+struct MkpSolution {
+  VertexList members;
+  int size = 0;
+  std::uint64_t mask = 0;  ///< subset mask (valid when n <= 64)
+};
+
+/// Exhaustive maximum k-plex over all 2^n subsets — the ground truth every
+/// other solver (classical and quantum) is validated against. Requires
+/// n <= 30; O*(2^n).
+Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k);
+
+/// Exhaustive count of k-plexes with size >= threshold (the Grover M).
+Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
+                                        int threshold);
+
+}  // namespace qplex
+
+#endif  // QPLEX_CLASSICAL_EXACT_H_

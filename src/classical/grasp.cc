@@ -1,0 +1,138 @@
+#include "classical/grasp.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/kplex.h"
+
+namespace qplex {
+namespace {
+
+/// All vertices that may individually join `chosen` keeping it a k-plex.
+std::vector<Vertex> CompatibleCandidates(
+    const std::vector<std::uint64_t>& adjacency, int n, std::uint64_t chosen,
+    int k) {
+  const int size = std::popcount(chosen);
+  std::vector<Vertex> candidates;
+  for (Vertex v = 0; v < n; ++v) {
+    if ((chosen >> v) & 1) {
+      continue;
+    }
+    if (DegreeInMask(adjacency, v, chosen) < size + 1 - k) {
+      continue;
+    }
+    const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
+    bool feasible = true;
+    std::uint64_t rest = chosen;
+    while (rest != 0) {
+      const int u = std::countr_zero(rest);
+      rest &= rest - 1;
+      if (DegreeInMask(adjacency, u, with_v) < size + 1 - k) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      candidates.push_back(v);
+    }
+  }
+  return candidates;
+}
+
+/// Randomized greedy construction: repeatedly pick uniformly among the
+/// top-alpha candidates ranked by degree into (chosen | candidates).
+std::uint64_t Construct(const std::vector<std::uint64_t>& adjacency, int n,
+                        int k, double alpha, Rng& rng) {
+  std::uint64_t chosen = std::uint64_t{1}
+                         << rng.UniformInt(static_cast<std::uint64_t>(n));
+  for (;;) {
+    std::vector<Vertex> candidates =
+        CompatibleCandidates(adjacency, n, chosen, k);
+    if (candidates.empty()) {
+      return chosen;
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](Vertex a, Vertex b) {
+      return DegreeInMask(adjacency, a, ~std::uint64_t{0}) >
+             DegreeInMask(adjacency, b, ~std::uint64_t{0});
+    });
+    const std::size_t list_size = std::max<std::size_t>(
+        1, static_cast<std::size_t>(alpha * candidates.size() + 0.999));
+    chosen |= std::uint64_t{1}
+              << candidates[rng.UniformInt(
+                     static_cast<std::uint64_t>(list_size))];
+  }
+}
+
+/// Local search: try dropping each member and greedily refilling; accept the
+/// first strict improvement, repeat until none.
+std::uint64_t LocalSearch(const std::vector<std::uint64_t>& adjacency, int n,
+                          int k, std::uint64_t chosen, Rng& rng) {
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::uint64_t members = chosen;
+    while (members != 0) {
+      const int drop = std::countr_zero(members);
+      members &= members - 1;
+      std::uint64_t trial = chosen & ~(std::uint64_t{1} << drop);
+      // Greedy refill (pure greedy: alpha 0 behaviour).
+      for (;;) {
+        const std::vector<Vertex> candidates =
+            CompatibleCandidates(adjacency, n, trial, k);
+        if (candidates.empty()) {
+          break;
+        }
+        Vertex best = candidates[0];
+        for (Vertex v : candidates) {
+          if (DegreeInMask(adjacency, v, ~std::uint64_t{0}) >
+              DegreeInMask(adjacency, best, ~std::uint64_t{0})) {
+            best = v;
+          }
+        }
+        trial |= std::uint64_t{1} << best;
+      }
+      if (std::popcount(trial) > std::popcount(chosen)) {
+        chosen = trial;
+        improved = true;
+        break;
+      }
+    }
+  }
+  (void)rng;
+  return chosen;
+}
+
+}  // namespace
+
+Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
+  const int n = graph.num_vertices();
+  if (n > 64) {
+    return Status::InvalidArgument("GraspSolver requires n <= 64");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options_.iterations < 1 || options_.alpha < 0 || options_.alpha > 1) {
+    return Status::InvalidArgument("bad GRASP options");
+  }
+  MkpSolution best;
+  if (n == 0) {
+    return best;
+  }
+  const auto adjacency = AdjacencyMasks(graph);
+  Rng rng(options_.seed);
+  for (int iteration = 0; iteration < options_.iterations; ++iteration) {
+    std::uint64_t plex = Construct(adjacency, n, k, options_.alpha, rng);
+    plex = LocalSearch(adjacency, n, k, plex, rng);
+    if (std::popcount(plex) > best.size) {
+      best.size = std::popcount(plex);
+      best.mask = plex;
+    }
+  }
+  best.members = MaskToBitset(n, best.mask).ToList();
+  return best;
+}
+
+}  // namespace qplex

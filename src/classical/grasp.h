@@ -1,0 +1,38 @@
+#ifndef QPLEX_CLASSICAL_GRASP_H_
+#define QPLEX_CLASSICAL_GRASP_H_
+
+#include <cstdint>
+
+#include "classical/exact.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// GRASP for the maximum k-plex (after Gujjula & Balasundaram; the
+/// approximation family the paper's related-work section surveys): each
+/// iteration builds a plex with a randomized greedy construction (choose
+/// uniformly among the top-alpha fraction of compatible candidates by
+/// degree), then improves it with swap-based local search (drop one member,
+/// greedily refill). Returns the best plex over all iterations.
+struct GraspOptions {
+  int iterations = 64;
+  /// Candidate-list greediness: 0 = pure greedy, 1 = uniform random.
+  double alpha = 0.3;
+  std::uint64_t seed = 1;
+};
+
+class GraspSolver {
+ public:
+  explicit GraspSolver(GraspOptions options = {}) : options_(options) {}
+
+  /// Finds a (maximal, not necessarily maximum) k-plex of `graph` (n <= 64).
+  Result<MkpSolution> Solve(const Graph& graph, int k) const;
+
+ private:
+  GraspOptions options_;
+};
+
+}  // namespace qplex
+
+#endif  // QPLEX_CLASSICAL_GRASP_H_

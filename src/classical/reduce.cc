@@ -1,0 +1,109 @@
+#include "classical/reduce.h"
+
+#include <utility>
+#include <vector>
+
+namespace qplex {
+
+ReductionResult ReduceForTarget(const Graph& graph, int k, int target) {
+  QPLEX_CHECK(k >= 1) << "k must be >= 1";
+  const int n = graph.num_vertices();
+
+  // Work on a mutable copy of the structure: alive vertices + edge set.
+  std::vector<bool> vertex_alive(n, true);
+  std::vector<std::pair<Vertex, Vertex>> edges = graph.Edges();
+  std::vector<bool> edge_alive(edges.size(), true);
+
+  auto degree = [&](Vertex v) {
+    int d = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edge_alive[e] && (edges[e].first == v || edges[e].second == v)) {
+        ++d;
+      }
+    }
+    return d;
+  };
+  auto common_neighbors = [&](Vertex u, Vertex v) {
+    // Count w adjacent (via alive edges) to both u and v.
+    std::vector<bool> adjacent_u(n, false);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!edge_alive[e]) {
+        continue;
+      }
+      if (edges[e].first == u) {
+        adjacent_u[edges[e].second] = true;
+      } else if (edges[e].second == u) {
+        adjacent_u[edges[e].first] = true;
+      }
+    }
+    int count = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!edge_alive[e]) {
+        continue;
+      }
+      if (edges[e].first == v && adjacent_u[edges[e].second]) {
+        ++count;
+      } else if (edges[e].second == v && adjacent_u[edges[e].first]) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // First-order rule: degree threshold.
+    for (Vertex v = 0; v < n; ++v) {
+      if (vertex_alive[v] && degree(v) < target - k) {
+        vertex_alive[v] = false;
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          if (edge_alive[e] &&
+              (edges[e].first == v || edges[e].second == v)) {
+            edge_alive[e] = false;
+          }
+        }
+        changed = true;
+      }
+    }
+    // Second-order rule: common-neighbour (triangle support) threshold.
+    if (target - 2 * k > 0) {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (!edge_alive[e]) {
+          continue;
+        }
+        const auto [u, v] = edges[e];
+        if (common_neighbors(u, v) < target - 2 * k) {
+          edge_alive[e] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  ReductionResult result;
+  result.old_to_new.assign(n, -1);
+  int next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (vertex_alive[v]) {
+      result.old_to_new[v] = next++;
+      result.new_to_old.push_back(v);
+    } else {
+      ++result.vertices_removed;
+    }
+  }
+  result.reduced = Graph(next);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edge_alive[e]) {
+      result.reduced.AddEdge(result.old_to_new[edges[e].first],
+                             result.old_to_new[edges[e].second]);
+    } else {
+      ++result.edges_removed;
+    }
+  }
+  // Edges dropped because an endpoint vanished are counted as removed too;
+  // subtract double counting is unnecessary since edge_alive was cleared.
+  return result;
+}
+
+}  // namespace qplex

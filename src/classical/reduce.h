@@ -1,0 +1,36 @@
+#ifndef QPLEX_CLASSICAL_REDUCE_H_
+#define QPLEX_CLASSICAL_REDUCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// Result of the core–truss co-pruning style reduction.
+struct ReductionResult {
+  Graph reduced;
+  /// old vertex id -> new id, -1 for removed vertices.
+  std::vector<Vertex> old_to_new;
+  /// new vertex id -> old id.
+  std::vector<Vertex> new_to_old;
+  int vertices_removed = 0;
+  int edges_removed = 0;
+};
+
+/// Core–truss co-pruning (after Chang et al. 2022): iterates two safe rules
+/// until fixpoint, preserving every k-plex of size >= `target`:
+///   * first-order (core):  remove v when deg(v) < target - k
+///     (every member of a size->=target k-plex has >= target - k neighbours);
+///   * second-order (truss): remove edge (u,v) when |N(u) ∩ N(v)| < target - 2k
+///     (two members of such a plex share >= target - 2k common members, all
+///     of which are common neighbours when u,v are adjacent — so an edge
+///     below the bound can never join two co-members, and dropping it leaves
+///     every candidate plex intact).
+/// The paper runs qMKP after exactly this reduction to fit larger graphs
+/// onto bounded-qubit hardware (Section V-B).
+ReductionResult ReduceForTarget(const Graph& graph, int k, int target);
+
+}  // namespace qplex
+
+#endif  // QPLEX_CLASSICAL_REDUCE_H_

@@ -1,0 +1,188 @@
+#ifndef QPLEX_COMMON_STATUS_H_
+#define QPLEX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace qplex {
+
+/// Canonical error space for the library. Modeled after the Status idiom used
+/// by production database codebases (Arrow, RocksDB): recoverable failures are
+/// returned as values, never thrown.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kResourceExhausted = 5,
+  kDeadlineExceeded = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation. An OK status
+/// carries no message; failure statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a failure Status. The value may only be
+/// accessed when `ok()` is true; this is enforced with a process abort, since
+/// accessing the value of a failed result is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites concise:
+  /// `Result<int> F() { return 42; }`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status:
+  /// `return Status::InvalidArgument(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "Result::value() on error: " << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+
+/// Accumulates a message via operator<< then aborts; used by QPLEX_CHECK.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qplex
+
+/// Aborts with a diagnostic when `condition` is false. For programmer errors
+/// (violated invariants), not for recoverable failures — those return Status.
+#define QPLEX_CHECK(condition)                                          \
+  if (!(condition))                                                     \
+  ::qplex::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+/// Propagates a non-OK Status from the current function.
+#define QPLEX_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::qplex::Status qplex_status__ = (expr);   \
+    if (!qplex_status__.ok()) {                \
+      return qplex_status__;                   \
+    }                                          \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs`, propagating failure. Usable repeatedly in
+/// one scope (the temporary's name embeds the line number).
+#define QPLEX_ASSIGN_OR_RETURN(lhs, expr) \
+  QPLEX_ASSIGN_OR_RETURN_IMPL_(           \
+      QPLEX_MACRO_CONCAT_(qplex_result__, __LINE__), lhs, expr)
+
+#define QPLEX_MACRO_CONCAT_INNER_(a, b) a##b
+#define QPLEX_MACRO_CONCAT_(a, b) QPLEX_MACRO_CONCAT_INNER_(a, b)
+
+#define QPLEX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#endif  // QPLEX_COMMON_STATUS_H_

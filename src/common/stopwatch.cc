@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Stopwatch and Deadline are header-only; this translation unit exists so the
+// header is compiled standalone at least once (self-containedness check).

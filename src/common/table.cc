@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace qplex {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QPLEX_CHECK(!header_.empty()) << "table must have at least one column";
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  QPLEX_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void AsciiTable::Print(std::ostream& os) const { os << ToString(); }
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatMicros(double micros) {
+  if (micros < 1e6) {
+    return FormatDouble(micros, micros < 100 ? 2 : 1);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", micros);
+  return buf;
+}
+
+std::string FormatErrorBound(double probability) {
+  if (probability <= 0) {
+    return "0";
+  }
+  if (probability >= 1) {
+    return "1";
+  }
+  const int exponent = static_cast<int>(std::ceil(std::log10(probability)));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "<10^%d", exponent);
+  return buf;
+}
+
+}  // namespace qplex

@@ -1,0 +1,46 @@
+#ifndef QPLEX_COMMON_TABLE_H_
+#define QPLEX_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qplex {
+
+/// Minimal aligned ASCII table used by the bench harnesses to print rows in
+/// the same layout as the paper's tables.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; its arity must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with a header rule, one space of padding, left-aligned cells.
+  std::string ToString() const;
+
+  /// Convenience: renders straight to `os`.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats microseconds compactly: "353.7" style for small values, scientific
+/// "1.0e+06" beyond six digits.
+std::string FormatMicros(double micros);
+
+/// Formats a probability as "<10^-k" the way the paper reports error bounds
+/// (e.g. 3.2e-7 -> "<10^-6"); exact zero renders as "0".
+std::string FormatErrorBound(double probability);
+
+}  // namespace qplex
+
+#endif  // QPLEX_COMMON_TABLE_H_

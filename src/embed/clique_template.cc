@@ -1,0 +1,33 @@
+#include "embed/clique_template.h"
+
+#include "embed/hardware.h"
+
+namespace qplex {
+
+Result<Embedding> ChimeraCliqueTemplate(int num_variables, int m, int t) {
+  if (m < 1 || t < 1) {
+    return Status::InvalidArgument("Chimera dimensions must be positive");
+  }
+  if (num_variables < 0 || num_variables > ChimeraCliqueCapacity(m, t)) {
+    return Status::InvalidArgument(
+        "template supports at most m*t variables on C(m,m,t)");
+  }
+  Embedding embedding;
+  embedding.chains.resize(num_variables);
+  for (int i = 0; i < num_variables; ++i) {
+    const int block = i / t;
+    const int offset = i % t;
+    auto& chain = embedding.chains[i];
+    // Vertical arm: column `block`, rows 0..block.
+    for (int row = 0; row <= block; ++row) {
+      chain.push_back(ChimeraIndex(m, m, t, row, block, 0, offset));
+    }
+    // Horizontal arm: row `block`, columns block..m-1.
+    for (int col = block; col < m; ++col) {
+      chain.push_back(ChimeraIndex(m, m, t, block, col, 1, offset));
+    }
+  }
+  return embedding;
+}
+
+}  // namespace qplex

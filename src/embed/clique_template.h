@@ -1,0 +1,28 @@
+#ifndef QPLEX_EMBED_CLIQUE_TEMPLATE_H_
+#define QPLEX_EMBED_CLIQUE_TEMPLATE_H_
+
+#include "common/status.h"
+#include "embed/minor_embedding.h"
+
+namespace qplex {
+
+/// Deterministic clique embedding for Chimera C(m, m, t): realises K_n for
+/// any n <= t*m with uniform chains of length m + 1. This is the template
+/// annealer toolchains fall back to for dense problems, where routing
+/// heuristics struggle.
+///
+/// Construction ("staircase cross"): variable i with block b = i / t and
+/// offset k = i % t owns
+///   vertical qubits   (row, col=b, k) for row in [0, b]    and
+///   horizontal qubits (row=b, col, k) for col in [b, m).
+/// The two arms meet in the diagonal cell (b, b) (vertical k couples to
+/// horizontal k inside a cell); variables in blocks b_i <= b_j meet in cell
+/// (b_i, b_j), where i's horizontal arm crosses j's vertical arm.
+Result<Embedding> ChimeraCliqueTemplate(int num_variables, int m, int t);
+
+/// Largest clique the template supports on C(m, m, t).
+inline int ChimeraCliqueCapacity(int m, int t) { return m * t; }
+
+}  // namespace qplex
+
+#endif  // QPLEX_EMBED_CLIQUE_TEMPLATE_H_

@@ -1,0 +1,77 @@
+#include "embed/hardware.h"
+
+namespace qplex {
+
+int ChimeraIndex(int rows, int cols, int t, int row, int col, int side,
+                 int k) {
+  QPLEX_CHECK(row >= 0 && row < rows) << "row out of range";
+  QPLEX_CHECK(col >= 0 && col < cols) << "col out of range";
+  QPLEX_CHECK(side == 0 || side == 1) << "side must be 0 or 1";
+  QPLEX_CHECK(k >= 0 && k < t) << "k out of range";
+  return ((row * cols + col) * 2 + side) * t + k;
+}
+
+Result<Graph> ChimeraGraph(int rows, int cols, int t) {
+  if (rows < 1 || cols < 1 || t < 1) {
+    return Status::InvalidArgument("Chimera dimensions must be positive");
+  }
+  Graph graph(rows * cols * 2 * t);
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col < cols; ++col) {
+      // Intra-cell K_{t,t}.
+      for (int a = 0; a < t; ++a) {
+        for (int b = 0; b < t; ++b) {
+          graph.AddEdge(ChimeraIndex(rows, cols, t, row, col, 0, a),
+                        ChimeraIndex(rows, cols, t, row, col, 1, b));
+        }
+      }
+      // Vertical couplers: vertical qubits connect to the same k in the cell
+      // below.
+      if (row + 1 < rows) {
+        for (int k = 0; k < t; ++k) {
+          graph.AddEdge(ChimeraIndex(rows, cols, t, row, col, 0, k),
+                        ChimeraIndex(rows, cols, t, row + 1, col, 0, k));
+        }
+      }
+      // Horizontal couplers: horizontal qubits connect rightward.
+      if (col + 1 < cols) {
+        for (int k = 0; k < t; ++k) {
+          graph.AddEdge(ChimeraIndex(rows, cols, t, row, col, 1, k),
+                        ChimeraIndex(rows, cols, t, row, col + 1, 1, k));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+Result<Graph> PegasusLikeGraph(int size) {
+  if (size < 1) {
+    return Status::InvalidArgument("size must be positive");
+  }
+  const int t = 4;
+  QPLEX_ASSIGN_OR_RETURN(Graph graph, ChimeraGraph(size, size, t));
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      // "Odd" couplers: pair up qubits within each partition of a cell.
+      for (int k = 0; k + 1 < t; k += 2) {
+        graph.AddEdge(ChimeraIndex(size, size, t, row, col, 0, k),
+                      ChimeraIndex(size, size, t, row, col, 0, k + 1));
+        graph.AddEdge(ChimeraIndex(size, size, t, row, col, 1, k),
+                      ChimeraIndex(size, size, t, row, col, 1, k + 1));
+      }
+      // Diagonal inter-cell couplers (down-right), mixing partitions.
+      if (row + 1 < size && col + 1 < size) {
+        for (int k = 0; k < t; ++k) {
+          graph.AddEdge(ChimeraIndex(size, size, t, row, col, 0, k),
+                        ChimeraIndex(size, size, t, row + 1, col + 1, 1, k));
+          graph.AddEdge(ChimeraIndex(size, size, t, row, col, 1, k),
+                        ChimeraIndex(size, size, t, row + 1, col + 1, 0, k));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace qplex

@@ -1,0 +1,32 @@
+#ifndef QPLEX_EMBED_HARDWARE_H_
+#define QPLEX_EMBED_HARDWARE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// Annealer hardware topologies. qaMKP's QUBO variables must be minor-
+/// embedded into one of these before a quantum annealer can run them
+/// (Section V, "Chain strength of qaMKP on D-Wave").
+
+/// Chimera C(rows, cols, t): a rows x cols grid of unit cells, each cell a
+/// complete bipartite K_{t,t}; vertical qubits couple to the cell below,
+/// horizontal qubits to the cell to the right. D-Wave 2000Q is C(16,16,4).
+Result<Graph> ChimeraGraph(int rows, int cols, int t);
+
+/// Index of qubit (row, col, side, k) in the Chimera numbering used by
+/// ChimeraGraph: side 0 = vertical partition, 1 = horizontal.
+int ChimeraIndex(int rows, int cols, int t, int row, int col, int side, int k);
+
+/// A Pegasus-like topology approximating the D-Wave Advantage connectivity:
+/// a Chimera C(size, size, 4) augmented with intra-cell "odd" couplers and
+/// diagonal inter-cell couplers, raising the qubit degree from 6 toward the
+/// 15 of the real Pegasus. (The exact Pegasus coordinate system is
+/// proprietary-documented; this stand-in preserves degree and locality
+/// characteristics, which is what chain statistics depend on.)
+Result<Graph> PegasusLikeGraph(int size);
+
+}  // namespace qplex
+
+#endif  // QPLEX_EMBED_HARDWARE_H_

@@ -1,0 +1,143 @@
+#include "graph/decomposition.h"
+
+#include <algorithm>
+
+namespace qplex {
+
+std::vector<int> CoreNumbers(const Graph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree (standard O(n + m) peeling).
+  std::vector<int> bin(max_degree + 2, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    ++bin[degree[v]];
+  }
+  int start = 0;
+  for (int d = 0; d <= max_degree; ++d) {
+    const int count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<Vertex> order(n);
+  std::vector<int> position(n);
+  for (Vertex v = 0; v < n; ++v) {
+    position[v] = bin[degree[v]];
+    order[position[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (int d = max_degree; d >= 1; --d) {
+    bin[d] = bin[d - 1];
+  }
+  if (max_degree >= 0) {
+    bin[0] = 0;
+  }
+
+  std::vector<int> core(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    core[v] = degree[v];
+    for (Vertex u : graph.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap it with the first vertex of its bucket.
+        const int du = degree[u];
+        const int pu = position[u];
+        const int pw = bin[du];
+        const Vertex w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+int Degeneracy(const Graph& graph) {
+  const std::vector<int> core = CoreNumbers(graph);
+  int best = 0;
+  for (int c : core) {
+    best = std::max(best, c);
+  }
+  return best;
+}
+
+VertexList DegeneracyOrdering(const Graph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<int> degree(n);
+  std::vector<bool> removed(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+  }
+  VertexList order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    Vertex best = -1;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!removed[v] && (best < 0 || degree[v] < degree[best])) {
+        best = v;
+      }
+    }
+    removed[best] = true;
+    order.push_back(best);
+    for (Vertex u : graph.Neighbors(best)) {
+      if (!removed[u]) {
+        --degree[u];
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> EdgeSupports(const Graph& graph) {
+  const auto edges = graph.Edges();
+  std::vector<int> support;
+  support.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    support.push_back(graph.NeighborBits(u).IntersectCount(graph.NeighborBits(v)));
+  }
+  return support;
+}
+
+long long CountTriangles(const Graph& graph) {
+  long long total = 0;
+  for (int s : EdgeSupports(graph)) {
+    total += s;
+  }
+  return total / 3;
+}
+
+std::vector<int> GreedyColoring(const Graph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<int> color(n, -1);
+  VertexList order = DegeneracyOrdering(graph);
+  // Colour in reverse degeneracy order so each vertex sees at most
+  // `degeneracy` coloured neighbours.
+  std::reverse(order.begin(), order.end());
+  std::vector<bool> used;
+  for (Vertex v : order) {
+    used.assign(n, false);
+    for (Vertex u : graph.Neighbors(v)) {
+      if (color[u] >= 0) {
+        used[color[u]] = true;
+      }
+    }
+    int c = 0;
+    while (used[c]) {
+      ++c;
+    }
+    color[v] = c;
+  }
+  return color;
+}
+
+}  // namespace qplex

@@ -1,0 +1,35 @@
+#ifndef QPLEX_GRAPH_DECOMPOSITION_H_
+#define QPLEX_GRAPH_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// Core numbers of every vertex: core(v) is the largest c such that v belongs
+/// to a subgraph where every vertex has degree >= c. Computed by the linear
+/// peeling algorithm (Matula–Beck).
+std::vector<int> CoreNumbers(const Graph& graph);
+
+/// Degeneracy of the graph = max core number (0 for empty graphs).
+int Degeneracy(const Graph& graph);
+
+/// A degeneracy ordering: repeatedly removes a minimum-degree vertex.
+VertexList DegeneracyOrdering(const Graph& graph);
+
+/// Number of triangles through each edge ("support"), keyed in the order of
+/// Graph::Edges(). Used by the second-order (truss) reduction.
+std::vector<int> EdgeSupports(const Graph& graph);
+
+/// Total triangle count of the graph.
+long long CountTriangles(const Graph& graph);
+
+/// Greedy sequential colouring along a degeneracy ordering; returns the colour
+/// of each vertex and uses at most degeneracy+1 colours. Colour-class counts
+/// give the co-k-plex style upper bound used by branch-and-bound solvers.
+std::vector<int> GreedyColoring(const Graph& graph);
+
+}  // namespace qplex
+
+#endif  // QPLEX_GRAPH_DECOMPOSITION_H_

@@ -1,0 +1,172 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qplex {
+namespace {
+
+long long MaxEdges(int n) {
+  return static_cast<long long>(n) * (n - 1) / 2;
+}
+
+}  // namespace
+
+Result<Graph> RandomGnm(int num_vertices, int num_edges, std::uint64_t seed) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  if (num_edges < 0 || num_edges > MaxEdges(num_vertices)) {
+    return Status::InvalidArgument("edge count out of range for G(n,m)");
+  }
+  // Sample m distinct pairs via a partial Fisher–Yates over the edge universe
+  // when the universe is small; fall back to rejection sampling otherwise.
+  Rng rng(seed);
+  Graph graph(num_vertices);
+  const long long universe = MaxEdges(num_vertices);
+  if (universe <= 4 * static_cast<long long>(num_edges) + 64) {
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    pairs.reserve(universe);
+    for (Vertex u = 0; u < num_vertices; ++u) {
+      for (Vertex v = u + 1; v < num_vertices; ++v) {
+        pairs.emplace_back(u, v);
+      }
+    }
+    for (int i = 0; i < num_edges; ++i) {
+      const auto j =
+          i + static_cast<long long>(rng.UniformInt(pairs.size() - i));
+      std::swap(pairs[i], pairs[j]);
+      graph.AddEdge(pairs[i].first, pairs[i].second);
+    }
+  } else {
+    while (graph.num_edges() < num_edges) {
+      const auto u = static_cast<Vertex>(rng.UniformInt(num_vertices));
+      const auto v = static_cast<Vertex>(rng.UniformInt(num_vertices));
+      if (u != v) {
+        graph.AddEdge(u, v);
+      }
+    }
+  }
+  return graph;
+}
+
+Result<Graph> RandomGnp(int num_vertices, double edge_probability,
+                        std::uint64_t seed) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  if (edge_probability < 0.0 || edge_probability > 1.0) {
+    return Status::InvalidArgument("edge probability outside [0, 1]");
+  }
+  Rng rng(seed);
+  Graph graph(num_vertices);
+  for (Vertex u = 0; u < num_vertices; ++u) {
+    for (Vertex v = u + 1; v < num_vertices; ++v) {
+      if (rng.Bernoulli(edge_probability)) {
+        graph.AddEdge(u, v);
+      }
+    }
+  }
+  return graph;
+}
+
+Result<Graph> PlantedKPlex(int num_vertices, int plex_size, int k,
+                           double background_probability, std::uint64_t seed) {
+  if (plex_size < 0 || plex_size > num_vertices) {
+    return Status::InvalidArgument("plex size out of range");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  Rng rng(seed);
+  QPLEX_ASSIGN_OR_RETURN(
+      Graph graph, RandomGnp(num_vertices, background_probability, rng.Next()));
+
+  // Choose the planted members: a random subset of size plex_size.
+  std::vector<Vertex> vertices(num_vertices);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    vertices[v] = v;
+  }
+  for (int i = 0; i < plex_size; ++i) {
+    const auto j = i + static_cast<int>(rng.UniformInt(num_vertices - i));
+    std::swap(vertices[i], vertices[j]);
+  }
+  const VertexList members(vertices.begin(), vertices.begin() + plex_size);
+
+  // Inside the planted set, connect each member to all but at most k-1
+  // co-members: start from the complete subgraph and delete up to k-1 edges
+  // per vertex, greedily respecting both endpoints' deletion budgets.
+  Graph planted(num_vertices);
+  for (const auto& [u, v] : graph.Edges()) {
+    planted.AddEdge(u, v);
+  }
+  for (int i = 0; i < plex_size; ++i) {
+    for (int j = i + 1; j < plex_size; ++j) {
+      planted.AddEdge(members[i], members[j]);
+    }
+  }
+  std::vector<int> missing_budget(num_vertices, k - 1);
+  // Randomly drop some internal edges within budget so the plex is not simply
+  // a clique (exercises the "deviation from clique" structure).
+  for (int i = 0; i < plex_size; ++i) {
+    for (int j = i + 1; j < plex_size; ++j) {
+      const Vertex u = members[i];
+      const Vertex v = members[j];
+      if (missing_budget[u] > 0 && missing_budget[v] > 0 &&
+          rng.Bernoulli(0.25)) {
+        --missing_budget[u];
+        --missing_budget[v];
+        // Rebuild without this edge (Graph has no RemoveEdge by design: the
+        // planting path is the only mutation-heavy user, and it is O(n^2)).
+        Graph rebuilt(num_vertices);
+        for (const auto& [a, b] : planted.Edges()) {
+          if (!((a == u && b == v) || (a == v && b == u))) {
+            rebuilt.AddEdge(a, b);
+          }
+        }
+        planted = std::move(rebuilt);
+      }
+    }
+  }
+  return planted;
+}
+
+Graph CompleteGraph(int num_vertices) {
+  Graph graph(num_vertices);
+  for (Vertex u = 0; u < num_vertices; ++u) {
+    for (Vertex v = u + 1; v < num_vertices; ++v) {
+      graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+Result<Graph> CycleGraph(int num_vertices) {
+  if (num_vertices < 3) {
+    return Status::InvalidArgument("cycle requires at least 3 vertices");
+  }
+  Graph graph(num_vertices);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    graph.AddEdge(v, (v + 1) % num_vertices);
+  }
+  return graph;
+}
+
+Graph PathGraph(int num_vertices) {
+  Graph graph(num_vertices);
+  for (Vertex v = 0; v + 1 < num_vertices; ++v) {
+    graph.AddEdge(v, v + 1);
+  }
+  return graph;
+}
+
+Graph StarGraph(int num_vertices) {
+  Graph graph(num_vertices);
+  for (Vertex v = 1; v < num_vertices; ++v) {
+    graph.AddEdge(0, v);
+  }
+  return graph;
+}
+
+}  // namespace qplex

@@ -1,0 +1,41 @@
+#ifndef QPLEX_GRAPH_GENERATORS_H_
+#define QPLEX_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly at random.
+/// Fails if m exceeds n(n-1)/2.
+Result<Graph> RandomGnm(int num_vertices, int num_edges, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p): each of the n(n-1)/2 edges present with probability p.
+Result<Graph> RandomGnp(int num_vertices, double edge_probability,
+                        std::uint64_t seed);
+
+/// A random graph with a planted k-plex of size `plex_size`: starts from
+/// G(n, p) background noise, then rewires a chosen subset so each of its
+/// vertices misses at most k-1 of its co-members. Useful for tests with a
+/// known feasible size.
+Result<Graph> PlantedKPlex(int num_vertices, int plex_size, int k,
+                           double background_probability, std::uint64_t seed);
+
+/// Complete graph K_n.
+Graph CompleteGraph(int num_vertices);
+
+/// Cycle C_n (requires n >= 3).
+Result<Graph> CycleGraph(int num_vertices);
+
+/// Path P_n.
+Graph PathGraph(int num_vertices);
+
+/// Star with one hub and `num_vertices - 1` leaves.
+Graph StarGraph(int num_vertices);
+
+}  // namespace qplex
+
+#endif  // QPLEX_GRAPH_GENERATORS_H_

@@ -1,0 +1,164 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace qplex {
+
+int VertexBitset::Count() const {
+  int count = 0;
+  for (std::uint64_t word : words_) {
+    count += std::popcount(word);
+  }
+  return count;
+}
+
+int VertexBitset::IntersectCount(const VertexBitset& other) const {
+  QPLEX_CHECK(num_bits_ == other.num_bits_) << "bitset size mismatch";
+  int count = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] & other.words_[i]);
+  }
+  return count;
+}
+
+bool VertexBitset::None() const {
+  for (std::uint64_t word : words_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VertexList VertexBitset::ToList() const {
+  VertexList out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<Vertex>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+VertexBitset VertexBitset::FromList(int num_vertices,
+                                    const VertexList& members) {
+  VertexBitset set(num_vertices);
+  for (Vertex v : members) {
+    QPLEX_CHECK(v >= 0 && v < num_vertices) << "vertex " << v << " out of range";
+    set.Set(v);
+  }
+  return set;
+}
+
+Graph::Graph(int num_vertices)
+    : num_vertices_(num_vertices),
+      adjacency_(num_vertices, VertexBitset(num_vertices)),
+      neighbors_(num_vertices) {
+  QPLEX_CHECK(num_vertices >= 0) << "negative vertex count";
+}
+
+void Graph::AddEdge(Vertex u, Vertex v) {
+  QPLEX_CHECK(u >= 0 && u < num_vertices_) << "vertex " << u << " out of range";
+  QPLEX_CHECK(v >= 0 && v < num_vertices_) << "vertex " << v << " out of range";
+  if (u == v || adjacency_[u].Test(v)) {
+    return;
+  }
+  adjacency_[u].Set(v);
+  adjacency_[v].Set(u);
+  neighbors_[u].insert(
+      std::lower_bound(neighbors_[u].begin(), neighbors_[u].end(), v), v);
+  neighbors_[v].insert(
+      std::lower_bound(neighbors_[v].begin(), neighbors_[v].end(), u), u);
+  ++num_edges_;
+}
+
+int Graph::MaxDegree() const {
+  int best = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::Edges() const {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(num_edges_);
+  for (Vertex u = 0; u < num_vertices_; ++u) {
+    for (Vertex v : neighbors_[u]) {
+      if (u < v) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return edges;
+}
+
+Graph Graph::Complement() const {
+  Graph complement(num_vertices_);
+  for (Vertex u = 0; u < num_vertices_; ++u) {
+    for (Vertex v = u + 1; v < num_vertices_; ++v) {
+      if (!HasEdge(u, v)) {
+        complement.AddEdge(u, v);
+      }
+    }
+  }
+  return complement;
+}
+
+Graph Graph::InducedSubgraph(const VertexBitset& keep,
+                             std::vector<Vertex>* old_to_new) const {
+  QPLEX_CHECK(keep.size() == num_vertices_) << "subset size mismatch";
+  std::vector<Vertex> mapping(num_vertices_, -1);
+  Vertex next = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    if (keep.Test(v)) {
+      mapping[v] = next++;
+    }
+  }
+  Graph sub(next);
+  for (Vertex u = 0; u < num_vertices_; ++u) {
+    if (mapping[u] < 0) {
+      continue;
+    }
+    for (Vertex v : neighbors_[u]) {
+      if (u < v && mapping[v] >= 0) {
+        sub.AddEdge(mapping[u], mapping[v]);
+      }
+    }
+  }
+  if (old_to_new != nullptr) {
+    *old_to_new = std::move(mapping);
+  }
+  return sub;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream out;
+  out << "Graph(n=" << num_vertices_ << ", m=" << num_edges_ << ")";
+  return out.str();
+}
+
+Result<Graph> MakeGraph(int num_vertices,
+                        const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  Graph graph(num_vertices);
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_vertices || v < 0 || v >= num_vertices) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (u == v) {
+      return Status::InvalidArgument("self-loop not allowed");
+    }
+    graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+}  // namespace qplex

@@ -1,0 +1,54 @@
+#include "graph/instances.h"
+
+namespace qplex {
+
+Graph PaperExampleComplement() {
+  Graph graph(6);
+  // Edges as wired in the paper's Fig. 6 encoding circuit (1-based labels in
+  // the paper; 0-based here).
+  graph.AddEdge(0, 5);  // e1 = (v1, v6)
+  graph.AddEdge(1, 5);  // e2 = (v2, v6)
+  graph.AddEdge(2, 5);  // e3 = (v3, v6)
+  graph.AddEdge(3, 5);  // e4 = (v4, v6)
+  graph.AddEdge(1, 4);  // e5 = (v2, v5)
+  graph.AddEdge(1, 2);  // e6 = (v2, v3)
+  graph.AddEdge(2, 4);  // e7 = (v3, v5)
+  graph.AddEdge(2, 3);  // e8 = (v3, v4)
+  return graph;
+}
+
+Graph PaperExampleGraph() { return PaperExampleComplement().Complement(); }
+
+Graph KarateClub() {
+  Graph graph(34);
+  static constexpr int kEdges[][2] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33},
+  };
+  for (const auto& edge : kEdges) {
+    graph.AddEdge(edge[0], edge[1]);
+  }
+  return graph;
+}
+
+Graph PetersenGraph() {
+  Graph graph(10);
+  for (int i = 0; i < 5; ++i) {
+    graph.AddEdge(i, (i + 1) % 5);          // outer cycle
+    graph.AddEdge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    graph.AddEdge(i, 5 + i);                // spokes
+  }
+  return graph;
+}
+
+}  // namespace qplex

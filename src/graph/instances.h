@@ -1,0 +1,29 @@
+#ifndef QPLEX_GRAPH_INSTANCES_H_
+#define QPLEX_GRAPH_INSTANCES_H_
+
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// The paper's running example (Fig. 1): a 6-vertex graph whose complement
+/// has exactly the 8 edges wired in the encoding circuit of Fig. 6 —
+/// e1=(v1,v6), e2=(v2,v6), e3=(v3,v6), e4=(v4,v6), e5=(v2,v5), e6=(v2,v3),
+/// e7=(v3,v5), e8=(v3,v4) (0-based internally). Its maximum 2-plex is
+/// {v1,v2,v4,v5}, matching the paper's highlighted 2-plex / 2-cplex.
+Graph PaperExampleGraph();
+
+/// The complement of PaperExampleGraph() (paper Fig. 5), for direct checks
+/// against the encoding circuit.
+Graph PaperExampleComplement();
+
+/// Zachary's karate club (34 vertices, 78 edges) — the classic social
+/// network used by the community-detection example.
+Graph KarateClub();
+
+/// The Petersen graph (10 vertices, 15 edges, 3-regular) — a standard
+/// adversarial instance: triangle-free, so large k-plexes need large k.
+Graph PetersenGraph();
+
+}  // namespace qplex
+
+#endif  // QPLEX_GRAPH_INSTANCES_H_

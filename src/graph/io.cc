@@ -1,0 +1,129 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace qplex {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int num_vertices = -1;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    if (num_vertices < 0) {
+      if (!(fields >> num_vertices) || num_vertices < 0) {
+        return Status::InvalidArgument("bad vertex count at line " +
+                                       std::to_string(line_number));
+      }
+      continue;
+    }
+    Vertex u = 0;
+    Vertex v = 0;
+    if (!(fields >> u >> v)) {
+      return Status::InvalidArgument("bad edge at line " +
+                                     std::to_string(line_number));
+    }
+    edges.emplace_back(u, v);
+  }
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("missing vertex count header");
+  }
+  return MakeGraph(num_vertices, edges);
+}
+
+std::string WriteEdgeList(const Graph& graph) {
+  std::ostringstream out;
+  out << "# qplex edge list\n" << graph.num_vertices() << "\n";
+  for (const auto& [u, v] : graph.Edges()) {
+    out << u << " " << v << "\n";
+  }
+  return out.str();
+}
+
+Result<Graph> ParseDimacs(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int num_vertices = -1;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      int declared_edges = 0;
+      if (!(fields >> kind >> num_vertices >> declared_edges) ||
+          kind != "edge" || num_vertices < 0) {
+        return Status::InvalidArgument("bad problem line at line " +
+                                       std::to_string(line_number));
+      }
+    } else if (tag == 'e') {
+      if (num_vertices < 0) {
+        return Status::InvalidArgument("edge before problem line");
+      }
+      Vertex u = 0;
+      Vertex v = 0;
+      if (!(fields >> u >> v) || u < 1 || v < 1) {
+        return Status::InvalidArgument("bad edge at line " +
+                                       std::to_string(line_number));
+      }
+      edges.emplace_back(u - 1, v - 1);
+    } else {
+      return Status::InvalidArgument("unknown record '" + std::string(1, tag) +
+                                     "' at line " + std::to_string(line_number));
+    }
+  }
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("missing problem line");
+  }
+  return MakeGraph(num_vertices, edges);
+}
+
+std::string WriteDimacs(const Graph& graph) {
+  std::ostringstream out;
+  out << "c qplex DIMACS export\n"
+      << "p edge " << graph.num_vertices() << " " << graph.num_edges() << "\n";
+  for (const auto& [u, v] : graph.Edges()) {
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+  }
+  return out.str();
+}
+
+Result<Graph> LoadEdgeListFile(const std::string& path) {
+  QPLEX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseEdgeList(text);
+}
+
+Result<Graph> LoadDimacsFile(const std::string& path) {
+  QPLEX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseDimacs(text);
+}
+
+}  // namespace qplex

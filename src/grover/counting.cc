@@ -1,0 +1,109 @@
+#include "grover/counting.h"
+
+#include <cmath>
+#include <complex>
+
+namespace qplex {
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Applies one Grover operator G = D * O to `block` (dimension 2^n):
+/// phase-flip the marked states, then invert about the mean.
+void ApplyGrover(const std::vector<bool>& is_marked,
+                 std::vector<Complex>* block) {
+  Complex sum{0.0, 0.0};
+  for (std::size_t i = 0; i < block->size(); ++i) {
+    if (is_marked[i]) {
+      (*block)[i] = -(*block)[i];
+    }
+    sum += (*block)[i];
+  }
+  const Complex twice_mean = sum * (2.0 / static_cast<double>(block->size()));
+  for (auto& amp : *block) {
+    amp = twice_mean - amp;
+  }
+}
+
+}  // namespace
+
+Result<QuantumCountingResult> RunQuantumCounting(
+    int num_search_qubits, const std::vector<std::uint64_t>& marked,
+    const QuantumCountingOptions& options, Rng& rng) {
+  if (num_search_qubits < 1 || num_search_qubits > 20) {
+    return Status::InvalidArgument("search register must have 1..20 qubits");
+  }
+  if (options.counting_qubits < 1 || options.counting_qubits > 14) {
+    return Status::InvalidArgument("counting register must have 1..14 qubits");
+  }
+  const std::size_t search_dim = std::size_t{1} << num_search_qubits;
+  const std::size_t count_dim = std::size_t{1} << options.counting_qubits;
+
+  std::vector<bool> is_marked(search_dim, false);
+  for (std::uint64_t basis : marked) {
+    if (basis >= search_dim) {
+      return Status::InvalidArgument("marked state outside search register");
+    }
+    is_marked[basis] = true;
+  }
+
+  // Joint state after the controlled-G ladder: counting-register basis b
+  // tags the branch whose search register carries G^b |uniform>. Building
+  // the blocks sequentially needs exactly 2^t - 1 G applications.
+  const double amplitude =
+      1.0 / std::sqrt(static_cast<double>(search_dim) *
+                      static_cast<double>(count_dim));
+  std::vector<std::vector<Complex>> blocks(
+      count_dim, std::vector<Complex>(search_dim));
+  for (std::size_t s = 0; s < search_dim; ++s) {
+    blocks[0][s] = Complex{amplitude, 0.0};
+  }
+  for (std::size_t b = 1; b < count_dim; ++b) {
+    blocks[b] = blocks[b - 1];
+    ApplyGrover(is_marked, &blocks[b]);
+  }
+
+  // Inverse QFT over the counting register: for every search basis s,
+  // out_k(s) = (1/sqrt(2^t)) * sum_b exp(-2*pi*i*k*b / 2^t) in_b(s).
+  // Measurement only needs the counting register's marginal distribution.
+  std::vector<double> distribution(count_dim, 0.0);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(count_dim));
+  for (std::size_t k = 0; k < count_dim; ++k) {
+    double probability = 0.0;
+    for (std::size_t s = 0; s < search_dim; ++s) {
+      Complex out{0.0, 0.0};
+      for (std::size_t b = 0; b < count_dim; ++b) {
+        const double angle = -2.0 * M_PI * static_cast<double>(k) *
+                             static_cast<double>(b) /
+                             static_cast<double>(count_dim);
+        out += blocks[b][s] * Complex{std::cos(angle), std::sin(angle)};
+      }
+      probability += std::norm(out * norm);
+    }
+    distribution[k] = probability;
+  }
+
+  // Measure once.
+  double u = rng.UniformDouble();
+  std::size_t outcome = count_dim - 1;
+  for (std::size_t k = 0; k < count_dim; ++k) {
+    u -= distribution[k];
+    if (u <= 0) {
+      outcome = k;
+      break;
+    }
+  }
+
+  QuantumCountingResult result;
+  result.measured_phase_index = outcome;
+  result.grover_applications = static_cast<std::int64_t>(count_dim) - 1;
+  const double theta =
+      M_PI * static_cast<double>(outcome) / static_cast<double>(count_dim);
+  result.raw_estimate =
+      static_cast<double>(search_dim) * std::sin(theta) * std::sin(theta);
+  result.estimated_count =
+      static_cast<std::int64_t>(std::llround(result.raw_estimate));
+  return result;
+}
+
+}  // namespace qplex

@@ -1,0 +1,47 @@
+#ifndef QPLEX_GROVER_COUNTING_H_
+#define QPLEX_GROVER_COUNTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qplex {
+
+/// Quantum counting (Brassard, Høyer & Tapp 1998) — the subroutine the paper
+/// invokes to estimate the number of marked states M before choosing the
+/// Grover iteration count. Phase estimation over the Grover operator G: a
+/// t-qubit counting register controls G^{2^j} applications on the search
+/// register; an inverse QFT on the counting register concentrates on the
+/// phase theta with sin^2(theta) = M/N.
+struct QuantumCountingOptions {
+  /// Width of the counting register; the estimate's resolution is
+  /// O(sqrt(M*N))/2^t marked states.
+  int counting_qubits = 8;
+  std::uint64_t seed = 1;
+};
+
+struct QuantumCountingResult {
+  /// The measured counting-register value y in [0, 2^t).
+  std::uint64_t measured_phase_index = 0;
+  /// The resulting estimate of M (rounded to the nearest integer).
+  std::int64_t estimated_count = 0;
+  /// The continuous estimate before rounding.
+  double raw_estimate = 0;
+  /// Grover-operator applications consumed: 2^t - 1.
+  std::int64_t grover_applications = 0;
+};
+
+/// Simulates the full counting circuit exactly: the joint state of the
+/// counting register and the n-qubit search register is evolved through the
+/// controlled-G ladder and the inverse QFT, then the counting register is
+/// measured once. The search register's marked set is given explicitly
+/// (computed by the oracle circuit, as everywhere else in qplex).
+Result<QuantumCountingResult> RunQuantumCounting(
+    int num_search_qubits, const std::vector<std::uint64_t>& marked,
+    const QuantumCountingOptions& options, Rng& rng);
+
+}  // namespace qplex
+
+#endif  // QPLEX_GROVER_COUNTING_H_

@@ -1,0 +1,76 @@
+#include "grover/engine.h"
+
+#include <cmath>
+
+namespace qplex {
+
+int OptimalGroverIterations(int num_qubits, std::int64_t num_marked) {
+  QPLEX_CHECK(num_qubits >= 1 && num_qubits <= 62) << "bad qubit count";
+  QPLEX_CHECK(num_marked >= 0) << "negative marked count";
+  const double n_states = std::pow(2.0, num_qubits);
+  if (num_marked <= 0 || static_cast<double>(num_marked) >= n_states) {
+    return 0;
+  }
+  return static_cast<int>(std::floor(
+      (M_PI / 4.0) * std::sqrt(n_states / static_cast<double>(num_marked))));
+}
+
+double TheoreticalSuccessProbability(int num_qubits, std::int64_t num_marked,
+                                     int iterations) {
+  const double n_states = std::pow(2.0, num_qubits);
+  if (num_marked <= 0) {
+    return 0.0;
+  }
+  if (static_cast<double>(num_marked) >= n_states) {
+    return 1.0;
+  }
+  const double theta =
+      std::asin(std::sqrt(static_cast<double>(num_marked) / n_states));
+  const double amplitude = std::sin((2.0 * iterations + 1.0) * theta);
+  return amplitude * amplitude;
+}
+
+std::int64_t DiffusionCost(int num_qubits) {
+  // H^n + X^n + C^{n-1}Z (cost n) + X^n + H^n.
+  return 4LL * num_qubits + num_qubits;
+}
+
+GroverSimulation::GroverSimulation(int num_qubits,
+                                   std::vector<std::uint64_t> marked)
+    : simulator_(num_qubits), marked_(std::move(marked)) {
+  is_marked_.assign(simulator_.dimension(), false);
+  for (std::uint64_t basis : marked_) {
+    QPLEX_CHECK(basis < simulator_.dimension())
+        << "marked state " << basis << " outside register";
+    is_marked_[basis] = true;
+  }
+  Reset();
+}
+
+void GroverSimulation::Reset() {
+  simulator_.PrepareUniform();
+  steps_ = 0;
+}
+
+void GroverSimulation::Step() {
+  simulator_.ApplyPhaseOracle(marked_);
+  simulator_.ApplyDiffusion();
+  ++steps_;
+}
+
+void GroverSimulation::Run(int count) {
+  QPLEX_CHECK(count >= 0) << "negative iteration count";
+  for (int i = 0; i < count; ++i) {
+    Step();
+  }
+}
+
+double GroverSimulation::SuccessProbability() const {
+  double total = 0.0;
+  for (std::uint64_t basis : marked_) {
+    total += simulator_.Probability(basis);
+  }
+  return total;
+}
+
+}  // namespace qplex

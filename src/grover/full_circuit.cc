@@ -1,0 +1,77 @@
+#include "grover/full_circuit.h"
+
+namespace qplex {
+namespace {
+
+/// Appends the diffusion operator on the first `n` wires (the vertex
+/// register): reflection about the uniform superposition realised as
+/// H^n, X^n, C^{n-1}Z, X^n, H^n.
+void AppendDiffusion(Circuit* circuit, int n) {
+  for (int q = 0; q < n; ++q) {
+    circuit->Append(MakeH(q));
+  }
+  for (int q = 0; q < n; ++q) {
+    circuit->Append(MakeX(q));
+  }
+  if (n == 1) {
+    circuit->Append(MakeZ(0));
+  } else {
+    std::vector<int> controls;
+    for (int q = 0; q + 1 < n; ++q) {
+      controls.push_back(q);
+    }
+    circuit->Append(MakeMCZ(std::move(controls), n - 1));
+  }
+  for (int q = 0; q < n; ++q) {
+    circuit->Append(MakeX(q));
+  }
+  for (int q = 0; q < n; ++q) {
+    circuit->Append(MakeH(q));
+  }
+}
+
+}  // namespace
+
+Result<FullQtkpCircuit> BuildFullQtkpCircuit(const Graph& graph, int k,
+                                             int threshold, int iterations,
+                                             const MkpOracleOptions& options) {
+  if (iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  QPLEX_ASSIGN_OR_RETURN(MkpOracle oracle,
+                         MkpOracle::Build(graph, k, threshold, options));
+
+  FullQtkpCircuit full;
+  full.num_vertex_qubits = graph.num_vertices();
+  full.oracle_wire = oracle.oracle_wire();
+  full.iterations = iterations;
+  full.circuit = oracle.circuit();  // iteration 1's oracle, with registers
+
+  // One oracle pass worth of gates, for the later iterations.
+  const std::vector<Gate> oracle_gates = full.circuit.gates();
+
+  // Prologue (prepended, so it runs first): uniform superposition over the
+  // vertex register and |O> = (|0> - |1>)/sqrt(2) for the phase kickback.
+  std::vector<Gate> prologue;
+  for (int q = 0; q < full.num_vertex_qubits; ++q) {
+    prologue.push_back(MakeH(q));
+  }
+  prologue.push_back(MakeX(full.oracle_wire));
+  prologue.push_back(MakeH(full.oracle_wire));
+  full.circuit.PrependGates(prologue);
+
+  full.circuit.BeginStage("diffusion");
+  AppendDiffusion(&full.circuit, full.num_vertex_qubits);
+
+  for (int iteration = 1; iteration < iterations; ++iteration) {
+    full.circuit.BeginStage("oracle_repeat");
+    for (const Gate& gate : oracle_gates) {
+      full.circuit.Append(gate);
+    }
+    full.circuit.BeginStage("diffusion");
+    AppendDiffusion(&full.circuit, full.num_vertex_qubits);
+  }
+  return full;
+}
+
+}  // namespace qplex

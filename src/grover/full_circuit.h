@@ -1,0 +1,35 @@
+#ifndef QPLEX_GROVER_FULL_CIRCUIT_H_
+#define QPLEX_GROVER_FULL_CIRCUIT_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "oracle/mkp_oracle.h"
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// The complete, self-contained qTKP circuit of the paper's Fig. 12:
+///
+///   H on every vertex qubit; X,H on the oracle qubit (|O> = |->)   [A]
+///   repeat `iterations` times:
+///     U_check, oracle flip, U_check^dagger                          [B]
+///     diffusion on the vertex register (H^n X^n C^{n-1}Z X^n H^n)   [C]
+///
+/// The result is exportable via quantum/qasm.h and runnable on external
+/// gate-model toolchains; within qplex the same semantics are simulated by
+/// the basis-simulator + phase-kickback pipeline (grover/engine.h), which is
+/// exact because the oracle body is classical and ancilla-clean.
+struct FullQtkpCircuit {
+  Circuit circuit;
+  int num_vertex_qubits = 0;
+  int oracle_wire = 0;
+  int iterations = 0;
+};
+
+Result<FullQtkpCircuit> BuildFullQtkpCircuit(
+    const Graph& graph, int k, int threshold, int iterations,
+    const MkpOracleOptions& options = {});
+
+}  // namespace qplex
+
+#endif  // QPLEX_GROVER_FULL_CIRCUIT_H_

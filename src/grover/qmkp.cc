@@ -1,0 +1,80 @@
+#include "grover/qmkp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qplex {
+
+Result<QmkpResult> RunQmkp(const Graph& graph, int k,
+                           const QtkpOptions& options,
+                           const QmkpProgressCallback& on_progress) {
+  const int n = graph.num_vertices();
+  QmkpResult result;
+  if (n == 0) {
+    return result;
+  }
+
+  double success_product = 1.0;
+  QtkpOptions probe_options = options;
+
+  int low = 1;
+  int high = n;
+  int probe_index = 0;
+  while (low <= high) {
+    const int mid = low + (high - low) / 2;
+    // Decorrelate the probes' measurement randomness.
+    probe_options.seed = options.seed + 0x9e3779b97f4a7c15ULL *
+                                            static_cast<std::uint64_t>(
+                                                ++probe_index);
+    QPLEX_ASSIGN_OR_RETURN(QtkpResult probe_result,
+                           RunQtkp(graph, k, mid, probe_options));
+
+    QmkpProbe probe;
+    probe.threshold = mid;
+    probe.feasible = probe_result.found;
+    probe.found_size = probe_result.found
+                           ? static_cast<int>(probe_result.plex.size())
+                           : 0;
+    probe.oracle_calls = probe_result.oracle_calls;
+    probe.gate_cost = probe_result.gate_cost;
+    probe.error_probability = probe_result.error_probability;
+
+    result.total_oracle_calls += probe.oracle_calls;
+    result.total_gate_cost += probe.gate_cost;
+
+    if (probe_result.found) {
+      // A verified measurement can exceed the probed threshold (the oracle
+      // marks *all* plexes of size >= T); exploit it.
+      if (probe.found_size > result.best_size) {
+        result.best_size = probe.found_size;
+        result.best_mask = probe_result.mask;
+        result.best_plex = probe_result.plex;
+      }
+      if (result.first_result_size == 0) {
+        result.first_result_gate_cost = result.total_gate_cost;
+        result.first_result_size = probe.found_size;
+      }
+      // Overall failure accounting: this probe would have been misclassified
+      // only if all of its allowed attempts had failed.
+      success_product *=
+          1.0 - std::pow(probe.error_probability,
+                         static_cast<double>(probe_result.attempt_budget));
+      low = std::max(mid, result.best_size) + 1;
+    } else {
+      high = mid - 1;
+    }
+    result.probes.push_back(probe);
+    if (on_progress) {
+      on_progress(probe, result);
+    }
+  }
+  result.error_probability = 1.0 - success_product;
+  return result;
+}
+
+Result<QmkpResult> RunQMaxClique(const Graph& graph,
+                                 const QtkpOptions& options) {
+  return RunQmkp(graph, /*k=*/1, options);
+}
+
+}  // namespace qplex

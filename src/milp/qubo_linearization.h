@@ -1,0 +1,46 @@
+#ifndef QPLEX_MILP_QUBO_LINEARIZATION_H_
+#define QPLEX_MILP_QUBO_LINEARIZATION_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "milp/milp_solver.h"
+#include "qubo/qubo_model.h"
+
+namespace qplex {
+
+/// The paper's MILP baseline model (Eq. 14): every quadratic product
+/// X_u * X_v is replaced by a fresh continuous variable y_uv subject to the
+/// McCormick envelope
+///   y <= X_u,  y <= X_v,  y >= X_u + X_v - 1,  y >= 0,
+/// which is exact when the X's are binary. Diagonal terms X^2 = X stay
+/// linear. The resulting MILP minimizes offset + sum Q_uv Z_uv.
+struct LinearizedQubo {
+  MilpProblem milp;
+  /// The QUBO being linearized has this many binary x variables, at MILP
+  /// indices [0, num_x); product variables follow.
+  int num_x = 0;
+  /// (u, v) -> MILP index of y_uv.
+  std::map<std::pair<int, int>, int> product_vars;
+  /// The model's constant (carried outside the LP objective).
+  double offset = 0;
+};
+
+/// Builds the McCormick linearization of `model`.
+LinearizedQubo LinearizeQubo(const QuboModel& model);
+
+/// Extracts the binary sample from an MILP solution vector.
+QuboSample ExtractSample(const LinearizedQubo& linearized,
+                         const std::vector<double>& x);
+
+/// An incumbent heuristic for MilpSolverOptions: round the x block of an LP
+/// point, derive the products exactly, and evaluate the true QUBO energy.
+/// `model` must outlive the returned callable.
+std::function<bool(const std::vector<double>&, std::vector<double>*, double*)>
+MakeQuboRoundingHeuristic(const QuboModel& model,
+                          const LinearizedQubo& linearized);
+
+}  // namespace qplex
+
+#endif  // QPLEX_MILP_QUBO_LINEARIZATION_H_

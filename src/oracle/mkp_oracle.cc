@@ -1,0 +1,223 @@
+#include "oracle/mkp_oracle.h"
+
+#include <algorithm>
+#include <string>
+
+#include "arith/adder.h"
+#include "arith/comparator.h"
+#include "arith/popcount.h"
+#include "graph/kplex.h"
+#include "quantum/basis_sim.h"
+
+namespace qplex {
+
+bool MkpPredicate(const Graph& graph, int k, int threshold,
+                  std::uint64_t mask) {
+  if (__builtin_popcountll(mask) < threshold) {
+    return false;
+  }
+  return IsKPlexMask(AdjacencyMasks(graph), mask, k);
+}
+
+Result<MkpOracle> MkpOracle::Build(const Graph& graph, int k, int threshold,
+                                   const MkpOracleOptions& options) {
+  const int n = graph.num_vertices();
+  if (n < 1 || n > 64) {
+    return Status::InvalidArgument("oracle requires 1 <= n <= 64");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (threshold < 0 || threshold > n) {
+    return Status::InvalidArgument("threshold outside [0, n]");
+  }
+
+  MkpOracle oracle;
+  oracle.num_vertices_ = n;
+  oracle.k_ = k;
+  oracle.threshold_ = threshold;
+
+  const Graph complement = graph.Complement();
+  Circuit& circuit = oracle.circuit_;
+
+  // Vertex register must occupy wires [0, n) so basis inputs map directly.
+  const QubitRange vertices = circuit.AllocateRegister("v", n);
+
+  // --- Stage A: complement-graph encoding (paper Fig. 6 box A). -------------
+  circuit.BeginStage(OracleStages::kEncoding);
+  const auto complement_edges = complement.Edges();
+  const QubitRange edges =
+      circuit.AllocateRegister("e", static_cast<int>(complement_edges.size()));
+  for (std::size_t idx = 0; idx < complement_edges.size(); ++idx) {
+    const auto& [u, v] = complement_edges[idx];
+    circuit.Append(
+        MakeCCX(vertices[u], vertices[v], edges[static_cast<int>(idx)]));
+  }
+
+  // --- Stage B: per-vertex degree counting (paper Fig. 6 box B). ------------
+  circuit.BeginStage(OracleStages::kDegreeCount);
+  // Incident complement-edge wires per vertex.
+  std::vector<std::vector<int>> incident(n);
+  for (std::size_t idx = 0; idx < complement_edges.size(); ++idx) {
+    const auto& [u, v] = complement_edges[idx];
+    incident[u].push_back(edges[static_cast<int>(idx)]);
+    incident[v].push_back(edges[static_cast<int>(idx)]);
+  }
+  // Counter for vertex i must hold values up to its complement degree and be
+  // wide enough to compare against k-1. `counter_wires[v]` ends up holding
+  // the little-endian degree of v.
+  std::vector<std::vector<int>> counter_wires(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const int width = std::max(
+        BitWidthFor(static_cast<std::uint64_t>(complement.Degree(v))),
+        BitWidthFor(static_cast<std::uint64_t>(k - 1)));
+    const QubitRange counter =
+        circuit.AllocateRegister("c" + std::to_string(v), width);
+    for (int i = 0; i < width; ++i) {
+      counter_wires[v].push_back(counter[i]);
+    }
+    switch (options.degree_count_mode) {
+      case DegreeCountMode::kIncrement:
+        AppendPopCount(&circuit, incident[v], counter);
+        break;
+      case DegreeCountMode::kRippleAdder:
+        // The paper's construction: degree = Sum over incident edges, each
+        // realised as a full multi-bit addition count <- count + (edge
+        // zero-extended to counter width). The edge wire is the preserved `x`
+        // operand; the running count is the dirtied `y`; the sum lands on
+        // fresh wires which become the new running count.
+        for (int edge_wire : incident[v]) {
+          std::vector<int> operand{edge_wire};
+          if (width > 1) {
+            const QubitRange pad =
+                circuit.AllocateAncilla("deg.pad", width - 1);
+            for (int i = 0; i + 1 < width; ++i) {
+              operand.push_back(pad[i]);
+            }
+          }
+          const AdderResult sum =
+              AppendRippleCarryAdder(&circuit, operand, counter_wires[v]);
+          // The top carry cannot fire (the counter is sized for the maximum
+          // possible degree), so the counter keeps `width` bits.
+          counter_wires[v].assign(sum.sum_wires.begin(),
+                                  sum.sum_wires.begin() + width);
+        }
+        break;
+    }
+  }
+
+  // --- Degree comparison: d_i = [c_i <= k-1] (paper Fig. 9 box A). ----------
+  circuit.BeginStage(OracleStages::kDegreeCompare);
+  const QubitRange degree_ok = circuit.AllocateRegister("d", n);
+  for (Vertex v = 0; v < n; ++v) {
+    AppendLessEqualConst(&circuit, counter_wires[v],
+                         static_cast<std::uint64_t>(k - 1), degree_ok[v]);
+  }
+  // cplex flag: AND over all d_i (paper Fig. 9 box B).
+  const int cplex = circuit.AllocateQubit("cplex");
+  {
+    std::vector<int> controls;
+    for (Vertex v = 0; v < n; ++v) {
+      controls.push_back(degree_ok[v]);
+    }
+    circuit.Append(MakeMCX(std::move(controls), cplex));
+  }
+
+  // --- Size determination: popcount(v) >= T (paper Fig. 11 boxes A-B). ------
+  circuit.BeginStage(OracleStages::kSizeCheck);
+  const QubitRange size_reg = circuit.AllocateRegister(
+      "size",
+      std::max(BitWidthFor(static_cast<std::uint64_t>(n)),
+               BitWidthFor(static_cast<std::uint64_t>(threshold))));
+  {
+    std::vector<int> vertex_wires;
+    for (Vertex v = 0; v < n; ++v) {
+      vertex_wires.push_back(vertices[v]);
+    }
+    AppendPopCount(&circuit, vertex_wires, size_reg);
+  }
+  const int size_ok = circuit.AllocateQubit("size_ok");
+  {
+    std::vector<int> size_wires;
+    for (int i = 0; i < size_reg.width; ++i) {
+      size_wires.push_back(size_reg[i]);
+    }
+    AppendGreaterEqualConst(&circuit, size_wires,
+                            static_cast<std::uint64_t>(threshold), size_ok);
+  }
+
+  const int compute_end = circuit.num_gates();
+
+  // --- Oracle flip (paper Fig. 11 box C): O ^= cplex AND size_ok. -----------
+  circuit.BeginStage(OracleStages::kOracleFlip);
+  oracle.oracle_wire_ = circuit.AllocateQubit("O");
+  circuit.Append(MakeCCX(cplex, size_ok, oracle.oracle_wire_));
+
+  // --- U_check^dagger: restore every ancilla (paper Fig. 12). ---------------
+  circuit.BeginStage(OracleStages::kUncompute);
+  circuit.AppendInverseOfRange(0, compute_end);
+
+  return oracle;
+}
+
+bool MkpOracle::Evaluate(std::uint64_t vertex_mask) const {
+  BitString input(circuit_.num_qubits());
+  input.StoreInt(0, num_vertices_, vertex_mask);
+  Result<BitString> final_state = BasisStateSimulator::Execute(circuit_, input);
+  QPLEX_CHECK(final_state.ok()) << final_state.status().ToString();
+  return final_state.value().Get(oracle_wire_);
+}
+
+Result<bool> MkpOracle::EvaluateChecked(std::uint64_t vertex_mask) const {
+  BitString input(circuit_.num_qubits());
+  input.StoreInt(0, num_vertices_, vertex_mask);
+  QPLEX_ASSIGN_OR_RETURN(BitString final_state,
+                         BasisStateSimulator::Execute(circuit_, input));
+  // Uncompute contract: all wires except the oracle bit must match the input.
+  for (int wire = 0; wire < circuit_.num_qubits(); ++wire) {
+    if (wire == oracle_wire_) {
+      continue;
+    }
+    if (final_state.Get(wire) != input.Get(wire)) {
+      return Status::Internal("ancilla wire " + std::to_string(wire) +
+                              " not restored by uncompute");
+    }
+  }
+  return final_state.Get(oracle_wire_);
+}
+
+std::vector<std::uint64_t> MkpOracle::MarkedStates() const {
+  QPLEX_CHECK(num_vertices_ <= 30) << "exhaustive evaluation needs n <= 30";
+  std::vector<std::uint64_t> marked;
+  const std::uint64_t space = std::uint64_t{1} << num_vertices_;
+  for (std::uint64_t mask = 0; mask < space; ++mask) {
+    if (Evaluate(mask)) {
+      marked.push_back(mask);
+    }
+  }
+  return marked;
+}
+
+OracleCostReport MkpOracle::CostReport() const {
+  OracleCostReport report;
+  const auto costs = circuit_.CostsByStage();
+  const auto& names = circuit_.stage_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == OracleStages::kEncoding) {
+      report.encoding = costs[i];
+    } else if (names[i] == OracleStages::kDegreeCount) {
+      report.degree_count = costs[i];
+    } else if (names[i] == OracleStages::kDegreeCompare) {
+      report.degree_compare = costs[i];
+    } else if (names[i] == OracleStages::kSizeCheck) {
+      report.size_check = costs[i];
+    } else if (names[i] == OracleStages::kOracleFlip) {
+      report.oracle_flip = costs[i];
+    } else if (names[i] == OracleStages::kUncompute) {
+      report.uncompute = costs[i];
+    }
+  }
+  return report;
+}
+
+}  // namespace qplex

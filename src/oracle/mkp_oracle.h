@@ -1,0 +1,126 @@
+#ifndef QPLEX_ORACLE_MKP_ORACLE_H_
+#define QPLEX_ORACLE_MKP_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Names of the oracle's cost-accounted stages, in circuit order. The paper's
+/// Table V reports the runtime share of the middle three.
+struct OracleStages {
+  static constexpr const char* kEncoding = "encoding";
+  static constexpr const char* kDegreeCount = "degree_count";
+  static constexpr const char* kDegreeCompare = "degree_compare";
+  static constexpr const char* kSizeCheck = "size_check";
+  static constexpr const char* kOracleFlip = "oracle_flip";
+  static constexpr const char* kUncompute = "uncompute";
+};
+
+/// Per-stage gate/cost statistics of a built oracle.
+struct OracleCostReport {
+  std::int64_t encoding = 0;
+  std::int64_t degree_count = 0;
+  std::int64_t degree_compare = 0;
+  std::int64_t size_check = 0;
+  std::int64_t oracle_flip = 0;
+  std::int64_t uncompute = 0;
+
+  std::int64_t ComputeTotal() const {
+    return encoding + degree_count + degree_compare + size_check;
+  }
+};
+
+/// How the degree-count stage accumulates each vertex's activated edges.
+enum class DegreeCountMode {
+  /// The paper's construction (Figs. 7-8): one full multi-bit ripple-carry
+  /// addition per incident edge. Costs O(log n) full adders per edge, which
+  /// is why degree counting dominates the oracle runtime (Table V).
+  kRippleAdder,
+  /// A compact MCX controlled-increment counter — ablation variant showing
+  /// how much of the oracle cost the paper's adder chains account for.
+  kIncrement,
+};
+
+/// Build-time options for the oracle.
+struct MkpOracleOptions {
+  DegreeCountMode degree_count_mode = DegreeCountMode::kRippleAdder;
+};
+
+/// The qTKP decision oracle of the paper (Sections III-B..III-E): given a
+/// subset of vertices (one qubit per vertex), decide whether it is a k-plex
+/// of the input graph with size >= threshold T. Internally the circuit works
+/// on the complement graph, checking the k-cplex condition deg <= k-1:
+///
+///   vertex reg --+--[A encoding: CCX per complement edge]--
+///                +--[B degree count: popcount into c_i]--
+///                +--[degree compare: d_i = (c_i <= k-1); cplex = AND d_i]--
+///                +--[size check: popcount(v) >= T; O ^= cplex AND size_ok]--
+///                +--[U_check^dagger uncompute]--
+///
+/// All gates are classical-reversible (X with controls), so the circuit can
+/// be evaluated exactly on one basis state at a time however many ancillas it
+/// uses — this is the trick that lets qplex execute the literal paper
+/// construction, whose width is O(n^2 log n) qubits.
+class MkpOracle {
+ public:
+  /// Builds the oracle for `graph`, plex parameter `k` (>= 1) and size
+  /// threshold `threshold` in [0, n]. Requires n <= 64 (mask-indexed search
+  /// space); the Grover driver further restricts n by state-vector size.
+  static Result<MkpOracle> Build(const Graph& graph, int k, int threshold,
+                                 const MkpOracleOptions& options = {});
+
+  int num_vertices() const { return num_vertices_; }
+  int k() const { return k_; }
+  int threshold() const { return threshold_; }
+
+  /// The full oracle circuit: U_check, oracle flip, U_check^dagger.
+  const Circuit& circuit() const { return circuit_; }
+
+  /// Total width (vertex + ancilla qubits) — the paper's O(n^2 log n) space.
+  int num_qubits() const { return circuit_.num_qubits(); }
+
+  /// Evaluates the oracle on a vertex subset by executing the literal gate
+  /// list; returns the oracle bit. Cost: one pass over the circuit.
+  bool Evaluate(std::uint64_t vertex_mask) const;
+
+  /// Like Evaluate, but also verifies that every ancilla wire is restored to
+  /// |0> and the vertex register is unchanged (the uncompute contract).
+  /// Returns InternalError if the contract is violated.
+  Result<bool> EvaluateChecked(std::uint64_t vertex_mask) const;
+
+  /// All marked subsets, by exhaustive evaluation over the 2^n masks.
+  std::vector<std::uint64_t> MarkedStates() const;
+
+  /// Per-stage cost report (Gate::Cost sums — a hardware-time proxy where a
+  /// C^kNOT costs k+1).
+  OracleCostReport CostReport() const;
+
+  /// Wire index of the oracle output qubit (for tests).
+  int oracle_wire() const { return oracle_wire_; }
+
+ private:
+  MkpOracle() = default;
+
+  int num_vertices_ = 0;
+  int k_ = 0;
+  int threshold_ = 0;
+  Circuit circuit_;
+  int oracle_wire_ = 0;
+};
+
+/// The semantic reference the circuit must agree with: subset `mask` is a
+/// k-plex of `graph` with at least `threshold` vertices. Used for
+/// cross-validation and as the fast oracle backend for large shot counts.
+bool MkpPredicate(const Graph& graph, int k, int threshold,
+                  std::uint64_t mask);
+
+}  // namespace qplex
+
+#endif  // QPLEX_ORACLE_MKP_ORACLE_H_

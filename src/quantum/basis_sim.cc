@@ -1,0 +1,57 @@
+#include "quantum/basis_sim.h"
+
+namespace qplex {
+
+bool BasisStateSimulator::ControlsFire(const Gate& gate,
+                                       const BitString& state) {
+  for (const Control& control : gate.controls) {
+    if (state.Get(control.qubit) != control.positive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status BasisStateSimulator::Apply(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::kX:
+      if (ControlsFire(gate, state_)) {
+        state_.Flip(gate.target);
+      }
+      return Status::Ok();
+    case GateKind::kZ:
+      // Z contributes a -1 phase when the target is |1> and controls fire.
+      if (state_.Get(gate.target) && ControlsFire(gate, state_)) {
+        phase_parity_ = !phase_parity_;
+      }
+      return Status::Ok();
+    case GateKind::kH:
+      return Status::FailedPrecondition(
+          "H gate leaves the computational basis; use StateVectorSimulator");
+  }
+  return Status::Internal("unknown gate kind");
+}
+
+Status BasisStateSimulator::Run(const Circuit& circuit) {
+  QPLEX_CHECK(state_.size() >= circuit.num_qubits())
+      << "simulator narrower than circuit";
+  for (const Gate& gate : circuit.gates()) {
+    QPLEX_RETURN_IF_ERROR(Apply(gate));
+  }
+  return Status::Ok();
+}
+
+Result<BitString> BasisStateSimulator::Execute(const Circuit& circuit,
+                                               const BitString& input) {
+  if (input.size() > circuit.num_qubits()) {
+    return Status::InvalidArgument("input wider than circuit");
+  }
+  BasisStateSimulator sim(circuit.num_qubits());
+  for (int i = 0; i < input.size(); ++i) {
+    sim.mutable_state()->Set(i, input.Get(i));
+  }
+  QPLEX_RETURN_IF_ERROR(sim.Run(circuit));
+  return sim.state();
+}
+
+}  // namespace qplex

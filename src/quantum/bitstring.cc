@@ -1,0 +1,49 @@
+#include "quantum/bitstring.h"
+
+#include <bit>
+
+namespace qplex {
+
+int BitString::PopCount() const {
+  int count = 0;
+  for (std::uint64_t word : words_) {
+    count += std::popcount(word);
+  }
+  return count;
+}
+
+void BitString::StoreInt(int offset, int width, std::uint64_t value) {
+  QPLEX_CHECK(width >= 0 && width <= 64) << "bad width " << width;
+  for (int i = 0; i < width; ++i) {
+    Set(offset + i, (value >> i) & 1);
+  }
+}
+
+std::uint64_t BitString::LoadInt(int offset, int width) const {
+  QPLEX_CHECK(width >= 0 && width <= 64) << "bad width " << width;
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(Get(offset + i)) << i;
+  }
+  return value;
+}
+
+bool BitString::IsZero() const {
+  for (std::uint64_t word : words_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BitString::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (int i = 0; i < num_bits_; ++i) {
+    out.push_back(Get(i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace qplex

@@ -1,0 +1,78 @@
+#include "quantum/gate.h"
+
+#include <sstream>
+
+namespace qplex {
+
+const char* GateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::kX:
+      return "X";
+    case GateKind::kH:
+      return "H";
+    case GateKind::kZ:
+      return "Z";
+  }
+  return "?";
+}
+
+std::string Gate::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    out << "C";
+  }
+  out << GateKindName(kind) << "(";
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    if (!controls[i].positive) {
+      out << "!";
+    }
+    out << controls[i].qubit;
+  }
+  if (!controls.empty()) {
+    out << " -> ";
+  }
+  out << target << ")";
+  return out.str();
+}
+
+Gate MakeX(int target) { return Gate{GateKind::kX, target, {}, 0}; }
+Gate MakeH(int target) { return Gate{GateKind::kH, target, {}, 0}; }
+Gate MakeZ(int target) { return Gate{GateKind::kZ, target, {}, 0}; }
+
+Gate MakeCX(int control, int target) {
+  return Gate{GateKind::kX, target, {Control{control, true}}, 0};
+}
+
+Gate MakeCCX(int control_a, int control_b, int target) {
+  return Gate{GateKind::kX,
+              target,
+              {Control{control_a, true}, Control{control_b, true}},
+              0};
+}
+
+Gate MakeMCX(std::vector<int> controls, int target) {
+  std::vector<Control> wires;
+  wires.reserve(controls.size());
+  for (int q : controls) {
+    wires.push_back(Control{q, true});
+  }
+  return Gate{GateKind::kX, target, std::move(wires), 0};
+}
+
+Gate MakeMCX(std::vector<Control> controls, int target) {
+  return Gate{GateKind::kX, target, std::move(controls), 0};
+}
+
+Gate MakeMCZ(std::vector<int> controls, int target) {
+  std::vector<Control> wires;
+  wires.reserve(controls.size());
+  for (int q : controls) {
+    wires.push_back(Control{q, true});
+  }
+  return Gate{GateKind::kZ, target, std::move(wires), 0};
+}
+
+}  // namespace qplex

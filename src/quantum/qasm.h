@@ -1,0 +1,22 @@
+#ifndef QPLEX_QUANTUM_QASM_H_
+#define QPLEX_QUANTUM_QASM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Serializes a circuit to OpenQASM 3, so the constructed oracles can be
+/// inspected or executed on external toolchains (Qiskit et al.). Negative
+/// controls are lowered to X-conjugation; multi-controlled X/Z beyond two
+/// controls are emitted as `ctrl(k) @ x` / `ctrl(k) @ z` gate modifiers.
+Result<std::string> ToQasm3(const Circuit& circuit);
+
+/// Convenience: writes ToQasm3 output to `path`.
+Status WriteQasm3File(const Circuit& circuit, const std::string& path);
+
+}  // namespace qplex
+
+#endif  // QPLEX_QUANTUM_QASM_H_

@@ -1,0 +1,189 @@
+#include "quantum/statevector.h"
+
+#include <cmath>
+
+namespace qplex {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+/// True when the control bits of `basis` match the gate's polarities.
+bool ControlsFire(const Gate& gate, std::uint64_t basis) {
+  for (const Control& control : gate.controls) {
+    const bool bit = (basis >> control.qubit) & 1;
+    if (bit != control.positive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StateVectorSimulator::StateVectorSimulator(int num_qubits)
+    : num_qubits_(num_qubits) {
+  QPLEX_CHECK(num_qubits >= 1 && num_qubits <= kMaxQubits)
+      << "state-vector simulation supports 1.." << kMaxQubits
+      << " qubits, got " << num_qubits;
+  amplitudes_.assign(dimension(), {0.0, 0.0});
+  amplitudes_[0] = {1.0, 0.0};
+}
+
+void StateVectorSimulator::Reset() {
+  std::fill(amplitudes_.begin(), amplitudes_.end(),
+            std::complex<double>{0.0, 0.0});
+  amplitudes_[0] = {1.0, 0.0};
+}
+
+void StateVectorSimulator::PrepareUniform() {
+  const double amp = 1.0 / std::sqrt(static_cast<double>(dimension()));
+  std::fill(amplitudes_.begin(), amplitudes_.end(),
+            std::complex<double>{amp, 0.0});
+}
+
+void StateVectorSimulator::ApplyX(int qubit) { ApplyGate(MakeX(qubit)); }
+void StateVectorSimulator::ApplyH(int qubit) { ApplyGate(MakeH(qubit)); }
+void StateVectorSimulator::ApplyZ(int qubit) { ApplyGate(MakeZ(qubit)); }
+
+void StateVectorSimulator::ApplyGate(const Gate& gate) {
+  QPLEX_CHECK(gate.target >= 0 && gate.target < num_qubits_)
+      << "target " << gate.target << " outside register";
+  for (const Control& control : gate.controls) {
+    QPLEX_CHECK(control.qubit >= 0 && control.qubit < num_qubits_)
+        << "control " << control.qubit << " outside register";
+  }
+  const std::uint64_t target_bit = std::uint64_t{1} << gate.target;
+  const std::uint64_t dim = dimension();
+  switch (gate.kind) {
+    case GateKind::kX:
+      for (std::uint64_t i = 0; i < dim; ++i) {
+        if ((i & target_bit) == 0 && ControlsFire(gate, i)) {
+          // Controls never include the target, so firing is identical for
+          // the pair (i, i | target_bit); swap once per pair.
+          std::swap(amplitudes_[i], amplitudes_[i | target_bit]);
+        }
+      }
+      break;
+    case GateKind::kZ:
+      for (std::uint64_t i = 0; i < dim; ++i) {
+        if ((i & target_bit) != 0 && ControlsFire(gate, i)) {
+          amplitudes_[i] = -amplitudes_[i];
+        }
+      }
+      break;
+    case GateKind::kH:
+      for (std::uint64_t i = 0; i < dim; ++i) {
+        if ((i & target_bit) == 0 && ControlsFire(gate, i)) {
+          const std::complex<double> a = amplitudes_[i];
+          const std::complex<double> b = amplitudes_[i | target_bit];
+          amplitudes_[i] = (a + b) * kInvSqrt2;
+          amplitudes_[i | target_bit] = (a - b) * kInvSqrt2;
+        }
+      }
+      break;
+  }
+}
+
+void StateVectorSimulator::RunCircuit(const Circuit& circuit) {
+  QPLEX_CHECK(circuit.num_qubits() <= num_qubits_)
+      << "circuit wider than simulator";
+  for (const Gate& gate : circuit.gates()) {
+    ApplyGate(gate);
+  }
+}
+
+void StateVectorSimulator::ApplyPhaseOracle(
+    const std::function<bool(std::uint64_t)>& marked) {
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if (marked(i)) {
+      amplitudes_[i] = -amplitudes_[i];
+    }
+  }
+}
+
+void StateVectorSimulator::ApplyPhaseOracle(
+    const std::vector<std::uint64_t>& marked_states) {
+  for (std::uint64_t basis : marked_states) {
+    QPLEX_CHECK(basis < dimension()) << "marked state out of range";
+    amplitudes_[basis] = -amplitudes_[basis];
+  }
+}
+
+void StateVectorSimulator::ApplyDiffusion() {
+  std::complex<double> sum{0.0, 0.0};
+  for (const auto& amp : amplitudes_) {
+    sum += amp;
+  }
+  const std::complex<double> twice_mean =
+      sum * (2.0 / static_cast<double>(dimension()));
+  for (auto& amp : amplitudes_) {
+    amp = twice_mean - amp;
+  }
+}
+
+double StateVectorSimulator::Probability(std::uint64_t basis) const {
+  QPLEX_CHECK(basis < dimension()) << "basis index out of range";
+  return std::norm(amplitudes_[basis]);
+}
+
+std::vector<double> StateVectorSimulator::Probabilities() const {
+  std::vector<double> probabilities(dimension());
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    probabilities[i] = std::norm(amplitudes_[i]);
+  }
+  return probabilities;
+}
+
+double StateVectorSimulator::SuccessProbability(
+    const std::function<bool(std::uint64_t)>& predicate) const {
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    if (predicate(i)) {
+      total += std::norm(amplitudes_[i]);
+    }
+  }
+  return total;
+}
+
+double StateVectorSimulator::TotalProbability() const {
+  double total = 0.0;
+  for (const auto& amp : amplitudes_) {
+    total += std::norm(amp);
+  }
+  return total;
+}
+
+std::uint64_t StateVectorSimulator::SampleOne(Rng& rng) const {
+  double u = rng.UniformDouble() * TotalProbability();
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    u -= std::norm(amplitudes_[i]);
+    if (u <= 0) {
+      return i;
+    }
+  }
+  return dimension() - 1;
+}
+
+std::vector<int> StateVectorSimulator::Sample(Rng& rng, int shots) const {
+  QPLEX_CHECK(shots >= 0) << "negative shot count";
+  // Build the CDF once; each shot is then a binary search.
+  std::vector<double> cdf(dimension());
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    acc += std::norm(amplitudes_[i]);
+    cdf[i] = acc;
+  }
+  std::vector<int> counts(dimension(), 0);
+  for (int s = 0; s < shots; ++s) {
+    const double u = rng.UniformDouble() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::uint64_t index =
+        it == cdf.end() ? dimension() - 1
+                        : static_cast<std::uint64_t>(it - cdf.begin());
+    ++counts[index];
+  }
+  return counts;
+}
+
+}  // namespace qplex

@@ -1,0 +1,86 @@
+#ifndef QPLEX_QUANTUM_STATEVECTOR_H_
+#define QPLEX_QUANTUM_STATEVECTOR_H_
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "quantum/circuit.h"
+
+namespace qplex {
+
+/// Dense state-vector simulator for small registers (the n vertex qubits of
+/// the gate-based algorithms). Basis index bit i is qubit i (little-endian),
+/// matching the subset-mask convention in graph/kplex.h.
+///
+/// The wide oracle ancillas never appear here: the oracle acts as a phase
+/// flip on the vertex register (the |O> = |-> kickback of the paper), with
+/// the marked set computed by running the literal oracle circuit through
+/// BasisStateSimulator once per basis state.
+class StateVectorSimulator {
+ public:
+  /// At most kMaxQubits qubits (2^26 amplitudes = 1 GiB of doubles); the
+  /// constructor CHECKs the bound.
+  static constexpr int kMaxQubits = 26;
+
+  explicit StateVectorSimulator(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+
+  /// Resets to |0...0>.
+  void Reset();
+  /// Resets to the uniform superposition H^{\otimes n}|0>.
+  void PrepareUniform();
+
+  const std::vector<std::complex<double>>& amplitudes() const {
+    return amplitudes_;
+  }
+  std::complex<double> amplitude(std::uint64_t basis) const {
+    QPLEX_CHECK(basis < dimension()) << "basis index out of range";
+    return amplitudes_[basis];
+  }
+
+  /// Single-qubit and controlled gates.
+  void ApplyX(int qubit);
+  void ApplyH(int qubit);
+  void ApplyZ(int qubit);
+  void ApplyGate(const Gate& gate);
+  /// Runs a whole (small) circuit.
+  void RunCircuit(const Circuit& circuit);
+
+  /// Multiplies the amplitude of every basis state satisfying `marked` by -1
+  /// (the oracle's phase kickback).
+  void ApplyPhaseOracle(const std::function<bool(std::uint64_t)>& marked);
+  void ApplyPhaseOracle(const std::vector<std::uint64_t>& marked_states);
+
+  /// Grover diffusion: reflection about the uniform superposition,
+  /// amp <- 2*mean - amp.
+  void ApplyDiffusion();
+
+  /// Probability of measuring `basis`.
+  double Probability(std::uint64_t basis) const;
+  /// Full measurement distribution (2^n entries).
+  std::vector<double> Probabilities() const;
+  /// Sum of probabilities over states satisfying `predicate`.
+  double SuccessProbability(
+      const std::function<bool(std::uint64_t)>& predicate) const;
+  /// Sum over all basis states; ~1 up to rounding (used as a sanity check).
+  double TotalProbability() const;
+
+  /// Draws `shots` independent measurements; returns counts per basis state.
+  std::vector<int> Sample(Rng& rng, int shots) const;
+  /// Draws one measurement outcome.
+  std::uint64_t SampleOne(Rng& rng) const;
+
+ private:
+  int num_qubits_;
+  std::vector<std::complex<double>> amplitudes_;
+};
+
+}  // namespace qplex
+
+#endif  // QPLEX_QUANTUM_STATEVECTOR_H_

@@ -1,0 +1,123 @@
+#include "relax/club.h"
+
+#include <bit>
+#include <queue>
+
+#include "graph/kplex.h"
+
+namespace qplex {
+namespace {
+
+/// BFS distances from `source` inside the subgraph induced by `members`.
+std::vector<int> InducedBfs(const Graph& graph, const VertexBitset& members,
+                            Vertex source) {
+  std::vector<int> distance(graph.num_vertices(), kUnreachable);
+  distance[source] = 0;
+  std::queue<Vertex> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex u = frontier.front();
+    frontier.pop();
+    for (Vertex w : graph.Neighbors(u)) {
+      if (members.Test(w) && distance[w] == kUnreachable) {
+        distance[w] = distance[u] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return distance;
+}
+
+/// BFS distances from `source` in the whole graph.
+std::vector<int> GlobalBfs(const Graph& graph, Vertex source) {
+  VertexBitset all(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    all.Set(v);
+  }
+  return InducedBfs(graph, all, source);
+}
+
+}  // namespace
+
+int InducedDistance(const Graph& graph, const VertexBitset& members, Vertex u,
+                    Vertex v) {
+  QPLEX_CHECK(members.Test(u) && members.Test(v))
+      << "endpoints must be members";
+  return InducedBfs(graph, members, u)[v];
+}
+
+int InducedDiameter(const Graph& graph, const VertexBitset& members) {
+  const VertexList vertices = members.ToList();
+  if (vertices.size() <= 1) {
+    return 0;
+  }
+  int diameter = 0;
+  for (Vertex source : vertices) {
+    const std::vector<int> distance = InducedBfs(graph, members, source);
+    for (Vertex v : vertices) {
+      diameter = std::max(diameter, distance[v]);
+      if (diameter >= kUnreachable) {
+        return kUnreachable;
+      }
+    }
+  }
+  return diameter;
+}
+
+bool IsSClique(const Graph& graph, const VertexBitset& members, int s) {
+  QPLEX_CHECK(s >= 1) << "s must be >= 1";
+  const VertexList vertices = members.ToList();
+  for (Vertex source : vertices) {
+    const std::vector<int> distance = GlobalBfs(graph, source);
+    for (Vertex v : vertices) {
+      if (distance[v] > s) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsSClub(const Graph& graph, const VertexBitset& members, int s) {
+  QPLEX_CHECK(s >= 1) << "s must be >= 1";
+  return InducedDiameter(graph, members) <= s;
+}
+
+bool IsSClan(const Graph& graph, const VertexBitset& members, int s) {
+  return IsSClique(graph, members, s) && IsSClub(graph, members, s);
+}
+
+bool IsSClubMask(const Graph& graph, std::uint64_t mask, int s) {
+  return IsSClub(graph, MaskToBitset(graph.num_vertices(), mask), s);
+}
+
+bool IsSCliqueMask(const Graph& graph, std::uint64_t mask, int s) {
+  return IsSClique(graph, MaskToBitset(graph.num_vertices(), mask), s);
+}
+
+bool IsSClanMask(const Graph& graph, std::uint64_t mask, int s) {
+  return IsSClan(graph, MaskToBitset(graph.num_vertices(), mask), s);
+}
+
+Result<ClubSolution> SolveMaxSClubByEnumeration(const Graph& graph, int s) {
+  const int n = graph.num_vertices();
+  if (n > 30) {
+    return Status::InvalidArgument("enumeration limited to n <= 30");
+  }
+  if (s < 1) {
+    return Status::InvalidArgument("s must be >= 1");
+  }
+  ClubSolution best;
+  const std::uint64_t space = n == 0 ? 1 : (std::uint64_t{1} << n);
+  for (std::uint64_t mask = 0; mask < space; ++mask) {
+    const int size = std::popcount(mask);
+    if (size > best.size && IsSClubMask(graph, mask, s)) {
+      best.size = size;
+      best.mask = mask;
+    }
+  }
+  best.members = MaskToBitset(n, best.mask).ToList();
+  return best;
+}
+
+}  // namespace qplex

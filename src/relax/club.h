@@ -1,0 +1,56 @@
+#ifndef QPLEX_RELAX_CLUB_H_
+#define QPLEX_RELAX_CLUB_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace qplex {
+
+/// Distance-based clique relaxations (the models the paper names as further
+/// targets of its oracle machinery, Section III-G "Adaptability"):
+///   s-clique: every pair of members is within distance s in the WHOLE graph;
+///   s-club:   the induced subgraph has diameter <= s;
+///   s-clan:   an s-clique whose induced subgraph also has diameter <= s.
+/// Every s-club is an s-clan, and every s-clan is an s-clique.
+
+/// All-pairs shortest-path distances inside the subgraph induced by
+/// `members` (|members| x |members| not materialized; query via the graph's
+/// vertex ids). Unreachable pairs get a large sentinel.
+constexpr int kUnreachable = 1 << 20;
+
+/// Distance between u and v inside the subgraph induced by `members`
+/// (BFS; u and v must be members).
+int InducedDistance(const Graph& graph, const VertexBitset& members, Vertex u,
+                    Vertex v);
+
+/// Diameter of the induced subgraph (kUnreachable when disconnected,
+/// 0 for sets of size <= 1).
+int InducedDiameter(const Graph& graph, const VertexBitset& members);
+
+/// True if every pair of members is within distance s in the whole graph.
+bool IsSClique(const Graph& graph, const VertexBitset& members, int s);
+
+/// True if the induced subgraph has diameter <= s (and is connected).
+bool IsSClub(const Graph& graph, const VertexBitset& members, int s);
+
+/// True if `members` is an s-clique and an s-club simultaneously.
+bool IsSClan(const Graph& graph, const VertexBitset& members, int s);
+
+/// Mask forms (n <= 64), matching graph/kplex.h conventions.
+bool IsSClubMask(const Graph& graph, std::uint64_t mask, int s);
+bool IsSCliqueMask(const Graph& graph, std::uint64_t mask, int s);
+bool IsSClanMask(const Graph& graph, std::uint64_t mask, int s);
+
+/// Exhaustive maximum s-club (ground truth; n <= 30).
+struct ClubSolution {
+  VertexList members;
+  int size = 0;
+  std::uint64_t mask = 0;
+};
+Result<ClubSolution> SolveMaxSClubByEnumeration(const Graph& graph, int s);
+
+}  // namespace qplex
+
+#endif  // QPLEX_RELAX_CLUB_H_

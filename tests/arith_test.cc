@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "arith/adder.h"
+#include "arith/comparator.h"
+#include "arith/popcount.h"
+#include "quantum/basis_sim.h"
+#include "quantum/circuit.h"
+
+namespace qplex {
+namespace {
+
+TEST(BitWidthTest, Values) {
+  EXPECT_EQ(BitWidthFor(0), 1);
+  EXPECT_EQ(BitWidthFor(1), 1);
+  EXPECT_EQ(BitWidthFor(2), 2);
+  EXPECT_EQ(BitWidthFor(3), 2);
+  EXPECT_EQ(BitWidthFor(4), 3);
+  EXPECT_EQ(BitWidthFor(255), 8);
+  EXPECT_EQ(BitWidthFor(256), 9);
+}
+
+/// Exhaustive truth table of the paper's Fig. 7 full adder.
+TEST(FullAdderTest, TruthTable) {
+  for (int x = 0; x <= 1; ++x) {
+    for (int y = 0; y <= 1; ++y) {
+      for (int c = 0; c <= 1; ++c) {
+        Circuit circuit;
+        FullAdderWires wires;
+        wires.x = circuit.AllocateQubit("x");
+        wires.y = circuit.AllocateQubit("y");
+        wires.carry_in = circuit.AllocateQubit("cin");
+        wires.and_xy = circuit.AllocateQubit("axy");
+        wires.carry_out = circuit.AllocateQubit("cout");
+        AppendFullAdder(&circuit, wires);
+
+        BitString in(5);
+        in.Set(wires.x, x);
+        in.Set(wires.y, y);
+        in.Set(wires.carry_in, c);
+        const BitString out =
+            BasisStateSimulator::Execute(circuit, in).value();
+
+        const int total = x + y + c;
+        EXPECT_EQ(out.Get(wires.carry_in), total & 1)
+            << x << "+" << y << "+" << c;                      // sum
+        EXPECT_EQ(out.Get(wires.carry_out), (total >> 1) & 1)
+            << x << "+" << y << "+" << c;                      // carry
+        EXPECT_EQ(out.Get(wires.x), x);                        // preserved
+        EXPECT_EQ(out.Get(wires.y), x ^ y);                    // dirty
+        EXPECT_EQ(out.Get(wires.and_xy), x & y);               // dirty
+      }
+    }
+  }
+}
+
+TEST(FullAdderTest, UsesExactlyFiveGates) {
+  Circuit circuit;
+  FullAdderWires wires;
+  wires.x = circuit.AllocateQubit("x");
+  wires.y = circuit.AllocateQubit("y");
+  wires.carry_in = circuit.AllocateQubit("cin");
+  wires.and_xy = circuit.AllocateQubit("axy");
+  wires.carry_out = circuit.AllocateQubit("cout");
+  AppendFullAdder(&circuit, wires);
+  EXPECT_EQ(circuit.num_gates(), 5);
+}
+
+/// Parameterised exhaustive sweep of the ripple-carry adder.
+class RippleAdderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleAdderTest, AllPairs) {
+  const int width = GetParam();
+  const std::uint64_t limit = std::uint64_t{1} << width;
+  for (std::uint64_t x = 0; x < limit; ++x) {
+    for (std::uint64_t y = 0; y < limit; ++y) {
+      Circuit circuit;
+      const QubitRange xr = circuit.AllocateRegister("x", width);
+      const QubitRange yr = circuit.AllocateRegister("y", width);
+      std::vector<int> x_wires;
+      std::vector<int> y_wires;
+      for (int i = 0; i < width; ++i) {
+        x_wires.push_back(xr[i]);
+        y_wires.push_back(yr[i]);
+      }
+      const AdderResult result =
+          AppendRippleCarryAdder(&circuit, x_wires, y_wires);
+
+      BitString in(circuit.num_qubits());
+      in.StoreInt(xr.start, width, x);
+      in.StoreInt(yr.start, width, y);
+      const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+
+      std::uint64_t sum = 0;
+      for (std::size_t bit = 0; bit < result.sum_wires.size(); ++bit) {
+        sum |= static_cast<std::uint64_t>(out.Get(result.sum_wires[bit]))
+               << bit;
+      }
+      EXPECT_EQ(sum, x + y) << x << " + " << y << " (width " << width << ")";
+      EXPECT_EQ(out.LoadInt(xr.start, width), x) << "x preserved";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderTest, ::testing::Values(1, 2, 3, 4));
+
+/// Parameterised exhaustive sweep of the controlled increment.
+class IncrementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementTest, WrapsModulo) {
+  const int width = GetParam();
+  const std::uint64_t limit = std::uint64_t{1} << width;
+  for (std::uint64_t start = 0; start < limit; ++start) {
+    for (int control_value = 0; control_value <= 1; ++control_value) {
+      Circuit circuit;
+      const int control = circuit.AllocateQubit("ctl");
+      const QubitRange reg = circuit.AllocateRegister("r", width);
+      AppendControlledIncrement(&circuit, std::vector<int>{control}, reg);
+
+      BitString in(circuit.num_qubits());
+      in.Set(control, control_value == 1);
+      in.StoreInt(reg.start, width, start);
+      const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+      const std::uint64_t expected =
+          control_value ? (start + 1) % limit : start;
+      EXPECT_EQ(out.LoadInt(reg.start, width), expected)
+          << "start " << start << " ctl " << control_value;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IncrementTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IncrementTest, UnconditionalWhenNoControls) {
+  Circuit circuit;
+  const QubitRange reg = circuit.AllocateRegister("r", 3);
+  AppendControlledIncrement(&circuit, std::vector<int>{}, reg);
+  BitString in(circuit.num_qubits());
+  in.StoreInt(reg.start, 3, 6);
+  const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+  EXPECT_EQ(out.LoadInt(reg.start, 3), 7u);
+}
+
+TEST(IncrementTest, NegativeControlFires) {
+  Circuit circuit;
+  const int control = circuit.AllocateQubit("ctl");
+  const QubitRange reg = circuit.AllocateRegister("r", 2);
+  AppendControlledIncrement(
+      &circuit, std::vector<Control>{Control{control, false}}, reg);
+  BitString in(circuit.num_qubits());  // control |0> -> negative control fires
+  const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+  EXPECT_EQ(out.LoadInt(reg.start, 2), 1u);
+}
+
+/// Parameterised exhaustive sweep of the comparator.
+class ComparatorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComparatorTest, AllPairsLessEqual) {
+  const int width = GetParam();
+  const std::uint64_t limit = std::uint64_t{1} << width;
+  for (std::uint64_t x = 0; x < limit; ++x) {
+    for (std::uint64_t y = 0; y < limit; ++y) {
+      Circuit circuit;
+      const QubitRange xr = circuit.AllocateRegister("x", width);
+      const QubitRange yr = circuit.AllocateRegister("y", width);
+      const int out_wire = circuit.AllocateQubit("out");
+      std::vector<int> x_wires;
+      std::vector<int> y_wires;
+      for (int i = 0; i < width; ++i) {
+        x_wires.push_back(xr[i]);
+        y_wires.push_back(yr[i]);
+      }
+      AppendLessEqual(&circuit, x_wires, y_wires, out_wire);
+
+      BitString in(circuit.num_qubits());
+      in.StoreInt(xr.start, width, x);
+      in.StoreInt(yr.start, width, y);
+      const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+      EXPECT_EQ(out.Get(out_wire), x <= y)
+          << x << " <= " << y << " (width " << width << ")";
+      // Inputs preserved.
+      EXPECT_EQ(out.LoadInt(xr.start, width), x);
+      EXPECT_EQ(out.LoadInt(yr.start, width), y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ComparatorTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(ComparatorConstTest, LessEqualConstSweep) {
+  const int width = 3;
+  for (std::uint64_t constant = 0; constant < 8; ++constant) {
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      Circuit circuit;
+      const QubitRange xr = circuit.AllocateRegister("x", width);
+      const int out_wire = circuit.AllocateQubit("out");
+      std::vector<int> x_wires{xr[0], xr[1], xr[2]};
+      AppendLessEqualConst(&circuit, x_wires, constant, out_wire);
+
+      BitString in(circuit.num_qubits());
+      in.StoreInt(xr.start, width, x);
+      const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+      EXPECT_EQ(out.Get(out_wire), x <= constant) << x << " <= " << constant;
+    }
+  }
+}
+
+TEST(ComparatorConstTest, GreaterEqualConstSweep) {
+  const int width = 3;
+  for (std::uint64_t constant = 0; constant < 8; ++constant) {
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      Circuit circuit;
+      const QubitRange xr = circuit.AllocateRegister("x", width);
+      const int out_wire = circuit.AllocateQubit("out");
+      std::vector<int> x_wires{xr[0], xr[1], xr[2]};
+      AppendGreaterEqualConst(&circuit, x_wires, constant, out_wire);
+
+      BitString in(circuit.num_qubits());
+      in.StoreInt(xr.start, width, x);
+      const BitString out = BasisStateSimulator::Execute(circuit, in).value();
+      EXPECT_EQ(out.Get(out_wire), x >= constant) << x << " >= " << constant;
+    }
+  }
+}
+
+TEST(ConstantRegisterTest, LoadsPattern) {
+  Circuit circuit;
+  const std::vector<int> wires =
+      AllocateConstantRegister(&circuit, 0b1011, 4, "konst");
+  const BitString out =
+      BasisStateSimulator::Execute(circuit, BitString(0)).value();
+  EXPECT_EQ(out.LoadInt(wires[0], 4), 0b1011u);
+}
+
+TEST(PopCountTest, CountsSetBits) {
+  for (std::uint64_t input = 0; input < 64; ++input) {
+    Circuit circuit;
+    const QubitRange in_reg = circuit.AllocateRegister("in", 6);
+    const QubitRange counter = circuit.AllocateRegister("cnt", 3);
+    std::vector<int> wires;
+    for (int i = 0; i < 6; ++i) {
+      wires.push_back(in_reg[i]);
+    }
+    AppendPopCount(&circuit, wires, counter);
+
+    BitString bits(circuit.num_qubits());
+    bits.StoreInt(in_reg.start, 6, input);
+    const BitString out = BasisStateSimulator::Execute(circuit, bits).value();
+    EXPECT_EQ(out.LoadInt(counter.start, 3),
+              static_cast<std::uint64_t>(__builtin_popcountll(input)))
+        << "input " << input;
+  }
+}
+
+TEST(PopCountTest, EmptyInputLeavesCounterZero) {
+  Circuit circuit;
+  const QubitRange counter = circuit.AllocateRegister("cnt", 2);
+  AppendPopCount(&circuit, {}, counter);
+  EXPECT_EQ(circuit.num_gates(), 0);
+}
+
+}  // namespace
+}  // namespace qplex

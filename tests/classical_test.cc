@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "classical/bs_solver.h"
+#include "classical/exact.h"
+#include "classical/grasp.h"
+#include "classical/reduce.h"
+#include "graph/generators.h"
+#include "graph/instances.h"
+#include "graph/kplex.h"
+
+namespace qplex {
+namespace {
+
+TEST(EnumerationTest, PaperExample) {
+  const MkpSolution best =
+      SolveMkpByEnumeration(PaperExampleGraph(), 2).value();
+  EXPECT_EQ(best.size, 4);
+  EXPECT_EQ(best.mask, 0b011011u);  // {v1, v2, v4, v5}
+  EXPECT_EQ(best.members, (VertexList{0, 1, 3, 4}));
+}
+
+TEST(EnumerationTest, CliqueCases) {
+  EXPECT_EQ(SolveMkpByEnumeration(CompleteGraph(6), 1).value().size, 6);
+  EXPECT_EQ(SolveMkpByEnumeration(CompleteGraph(6), 3).value().size, 6);
+  // Empty graph: any k vertices form a k-plex (degree 0 >= k - k).
+  EXPECT_EQ(SolveMkpByEnumeration(Graph(6), 2).value().size, 2);
+  EXPECT_EQ(SolveMkpByEnumeration(Graph(6), 5).value().size, 5);
+}
+
+TEST(EnumerationTest, PetersenPlexes) {
+  // Petersen is triangle-free and 3-regular: max clique 2.
+  EXPECT_EQ(SolveMkpByEnumeration(PetersenGraph(), 1).value().size, 2);
+  const MkpSolution two_plex = SolveMkpByEnumeration(PetersenGraph(), 2).value();
+  EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(PetersenGraph()), two_plex.mask, 2));
+}
+
+TEST(EnumerationTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveMkpByEnumeration(PaperExampleGraph(), 0).ok());
+  EXPECT_FALSE(SolveMkpByEnumeration(Graph(31), 1).ok());
+}
+
+TEST(EnumerationTest, CountKPlexes) {
+  // Paper example, k=2, T=4: exactly one solution (drives Fig. 8's 6
+  // Grover iterations).
+  EXPECT_EQ(CountKPlexesOfSize(PaperExampleGraph(), 2, 4).value(), 1);
+  // Threshold 0 counts every 2-plex including the empty set.
+  EXPECT_GT(CountKPlexesOfSize(PaperExampleGraph(), 2, 0).value(), 1);
+}
+
+// -- reduction ----------------------------------------------------------------
+
+TEST(ReduceTest, PreservesLargePlexes) {
+  for (std::uint64_t seed : {3ull, 7ull, 19ull}) {
+    const Graph graph = RandomGnm(14, 40, seed).value();
+    for (int k = 1; k <= 3; ++k) {
+      const MkpSolution best = SolveMkpByEnumeration(graph, k).value();
+      const ReductionResult reduction =
+          ReduceForTarget(graph, k, best.size);
+      ASSERT_LE(reduction.reduced.num_vertices(), 14);
+      const MkpSolution reduced_best =
+          SolveMkpByEnumeration(reduction.reduced, k).value();
+      EXPECT_EQ(reduced_best.size, best.size)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(ReduceTest, RemovesLowDegreeVertices) {
+  // Star graph: leaves have degree 1; for target 4, k 1 they all vanish.
+  const ReductionResult reduction = ReduceForTarget(StarGraph(8), 1, 4);
+  EXPECT_EQ(reduction.reduced.num_vertices(), 0);
+  EXPECT_EQ(reduction.vertices_removed, 8);
+}
+
+TEST(ReduceTest, KeepsEverythingWhenTargetTiny) {
+  const Graph graph = KarateClub();
+  const ReductionResult reduction = ReduceForTarget(graph, 2, 1);
+  EXPECT_EQ(reduction.reduced.num_vertices(), 34);
+  EXPECT_EQ(reduction.reduced.num_edges(), 78);
+}
+
+TEST(ReduceTest, MappingIsConsistent) {
+  const Graph graph = RandomGnm(12, 20, 4).value();
+  const ReductionResult reduction = ReduceForTarget(graph, 2, 5);
+  for (Vertex old_id = 0; old_id < 12; ++old_id) {
+    const Vertex new_id = reduction.old_to_new[old_id];
+    if (new_id >= 0) {
+      EXPECT_EQ(reduction.new_to_old[new_id], old_id);
+    }
+  }
+}
+
+// -- BS solver ----------------------------------------------------------------
+
+class BsRandomTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BsRandomTest, MatchesEnumeration) {
+  const auto [n, k] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const int m = n * (n - 1) / 3;
+    const Graph graph = RandomGnm(n, m, seed).value();
+    const MkpSolution expected = SolveMkpByEnumeration(graph, k).value();
+    BsSolver solver;
+    const MkpSolution actual = solver.Solve(graph, k).value();
+    EXPECT_EQ(actual.size, expected.size)
+        << "n=" << n << " k=" << k << " seed=" << seed;
+    EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), actual.mask, k));
+    EXPECT_EQ(static_cast<int>(actual.members.size()), actual.size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BsRandomTest,
+                         ::testing::Combine(::testing::Values(8, 10, 12, 14),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(BsSolverTest, PaperExample) {
+  BsSolver solver;
+  const MkpSolution best = solver.Solve(PaperExampleGraph(), 2).value();
+  EXPECT_EQ(best.size, 4);
+  EXPECT_EQ(best.mask, 0b011011u);
+}
+
+TEST(BsSolverTest, WithoutReductionOrBound) {
+  BsSolverOptions options;
+  options.use_reduction = false;
+  options.use_support_bound = false;
+  BsSolver solver(options);
+  const Graph graph = RandomGnm(12, 30, 8).value();
+  const MkpSolution expected = SolveMkpByEnumeration(graph, 2).value();
+  EXPECT_EQ(solver.Solve(graph, 2).value().size, expected.size);
+}
+
+TEST(BsSolverTest, BoundsReduceSearchNodes) {
+  const Graph graph = RandomGnm(16, 60, 2).value();
+  BsSolverOptions no_bound;
+  no_bound.use_support_bound = false;
+  no_bound.use_reduction = false;
+  BsSolver baseline(no_bound);
+  (void)baseline.Solve(graph, 2);
+
+  BsSolver pruned;  // defaults: reduction + bound on
+  (void)pruned.Solve(graph, 2);
+  EXPECT_LT(pruned.stats().branch_nodes, baseline.stats().branch_nodes);
+}
+
+TEST(BsSolverTest, IncumbentCallbackMonotone) {
+  std::vector<int> sizes;
+  BsSolverOptions options;
+  options.on_incumbent = [&](const MkpSolution& s) { sizes.push_back(s.size); };
+  BsSolver solver(options);
+  (void)solver.Solve(KarateClub(), 2);
+  ASSERT_FALSE(sizes.empty());
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(BsSolverTest, KarateClubKnownValues) {
+  // Known maximum k-plex sizes for Zachary's karate club.
+  BsSolver solver;
+  EXPECT_EQ(solver.Solve(KarateClub(), 1).value().size, 5);   // max clique
+  const MkpSolution two = solver.Solve(KarateClub(), 2).value();
+  EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(KarateClub()), two.mask, 2));
+  EXPECT_GE(two.size, 6);
+  EXPECT_GE(solver.Solve(KarateClub(), 3).value().size, two.size);
+}
+
+TEST(BsSolverTest, EmptyAndTinyGraphs) {
+  BsSolver solver;
+  EXPECT_EQ(solver.Solve(Graph(0), 2).value().size, 0);
+  EXPECT_EQ(solver.Solve(Graph(1), 1).value().size, 1);
+  EXPECT_EQ(solver.Solve(Graph(3), 2).value().size, 2);
+}
+
+// -- GRASP ----------------------------------------------------------------------
+
+TEST(GraspTest, FindsOptimumOnSmallInstances) {
+  for (std::uint64_t seed : {1ull, 4ull, 6ull}) {
+    const Graph graph = RandomGnm(12, 32, seed).value();
+    const int truth = SolveMkpByEnumeration(graph, 2).value().size;
+    GraspOptions options;
+    options.seed = seed;
+    options.iterations = 128;
+    const MkpSolution solution = GraspSolver(options).Solve(graph, 2).value();
+    // GRASP is a heuristic; on these sizes it reliably reaches the optimum.
+    EXPECT_EQ(solution.size, truth) << "seed " << seed;
+    EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, 2));
+  }
+}
+
+TEST(GraspTest, AlwaysReturnsValidPlex) {
+  const Graph graph = RandomGnm(20, 70, 3).value();
+  for (int k = 1; k <= 4; ++k) {
+    GraspOptions options;
+    options.iterations = 16;
+    const MkpSolution solution = GraspSolver(options).Solve(graph, k).value();
+    EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, k));
+    EXPECT_GE(solution.size, 1);
+  }
+}
+
+TEST(GraspTest, PureGreedyAndPureRandomBothValid) {
+  const Graph graph = RandomGnm(14, 40, 8).value();
+  for (double alpha : {0.0, 1.0}) {
+    GraspOptions options;
+    options.alpha = alpha;
+    options.iterations = 8;
+    const MkpSolution solution = GraspSolver(options).Solve(graph, 2).value();
+    EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, 2));
+  }
+}
+
+TEST(GraspTest, Validation) {
+  GraspOptions bad;
+  bad.alpha = 2.0;
+  EXPECT_FALSE(GraspSolver(bad).Solve(PathGraph(3), 1).ok());
+  EXPECT_FALSE(GraspSolver().Solve(PathGraph(3), 0).ok());
+  EXPECT_EQ(GraspSolver().Solve(Graph(0), 2).value().size, 0);
+}
+
+TEST(BsSolverTest, StatsPopulated) {
+  BsSolver solver;
+  (void)solver.Solve(RandomGnm(12, 30, 3).value(), 2);
+  EXPECT_GT(solver.stats().branch_nodes, 0);
+  EXPECT_GE(solver.stats().elapsed_seconds, 0.0);
+  EXPECT_TRUE(solver.stats().completed);
+}
+
+}  // namespace
+}  // namespace qplex

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace qplex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = ParsePositive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 5);
+  EXPECT_EQ(result.value_or(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ParsePositive(-3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+Status UsesReturnIfError(bool fail) {
+  QPLEX_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_EQ(UsesReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  QPLEX_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssignOrReturn(4).value(), 5);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.UniformInt(10);
+    EXPECT_LT(x, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.UniformInt(6));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3);
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(99);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (child_a.Next() == child_b.Next());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline deadline = Deadline::Infinite();
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 1e100);
+}
+
+TEST(DeadlineTest, TinyBudgetExpires) {
+  Deadline deadline = Deadline::After(1e-9);
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sink = sink + i;
+  }
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(TableTest, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(TableTest, FormatMicros) {
+  EXPECT_EQ(FormatMicros(353.71), "353.7");
+  EXPECT_EQ(FormatMicros(34.62), "34.62");
+  EXPECT_EQ(FormatMicros(2.5e6), "2.5e+06");
+}
+
+TEST(TableTest, FormatErrorBound) {
+  EXPECT_EQ(FormatErrorBound(0.0), "0");
+  EXPECT_EQ(FormatErrorBound(3.2e-7), "<10^-6");
+  EXPECT_EQ(FormatErrorBound(9.9e-5), "<10^-4");
+  EXPECT_EQ(FormatErrorBound(2.0), "1");
+}
+
+}  // namespace
+}  // namespace qplex

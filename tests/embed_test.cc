@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "embed/clique_template.h"
+#include "embed/hardware.h"
+#include "embed/minor_embedding.h"
+#include "graph/generators.h"
+#include "qubo/mkp_qubo.h"
+
+namespace qplex {
+namespace {
+
+TEST(ChimeraTest, CellStructure) {
+  // C(1,1,4): one K_{4,4} cell -> 8 qubits, 16 couplers.
+  const Graph cell = ChimeraGraph(1, 1, 4).value();
+  EXPECT_EQ(cell.num_vertices(), 8);
+  EXPECT_EQ(cell.num_edges(), 16);
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_EQ(cell.Degree(v), 4);
+  }
+}
+
+TEST(ChimeraTest, GridCouplers) {
+  // C(2,2,4): 32 qubits; 4 cells x 16 intra + 2x4 vertical + 2x4 horizontal.
+  const Graph graph = ChimeraGraph(2, 2, 4).value();
+  EXPECT_EQ(graph.num_vertices(), 32);
+  EXPECT_EQ(graph.num_edges(), 4 * 16 + 8 + 8);
+  // A vertical qubit in cell (0,0) couples to its twin in cell (1,0).
+  EXPECT_TRUE(graph.HasEdge(ChimeraIndex(2, 2, 4, 0, 0, 0, 1),
+                            ChimeraIndex(2, 2, 4, 1, 0, 0, 1)));
+  EXPECT_FALSE(graph.HasEdge(ChimeraIndex(2, 2, 4, 0, 0, 0, 1),
+                             ChimeraIndex(2, 2, 4, 1, 0, 0, 2)));
+}
+
+TEST(ChimeraTest, Validation) {
+  EXPECT_FALSE(ChimeraGraph(0, 1, 4).ok());
+  EXPECT_FALSE(ChimeraGraph(1, 1, 0).ok());
+}
+
+TEST(PegasusLikeTest, DenserThanChimera) {
+  const Graph chimera = ChimeraGraph(4, 4, 4).value();
+  const Graph pegasus = PegasusLikeGraph(4).value();
+  EXPECT_EQ(pegasus.num_vertices(), chimera.num_vertices());
+  EXPECT_GT(pegasus.num_edges(), chimera.num_edges());
+  EXPECT_GT(pegasus.MaxDegree(), chimera.MaxDegree());
+}
+
+// -- minor embedding ------------------------------------------------------------
+
+TEST(EmbeddingStatsTest, Aggregates) {
+  Embedding embedding;
+  embedding.chains = {{1, 2}, {3}, {4, 5, 6}};
+  const EmbeddingStats stats = ComputeEmbeddingStats(embedding);
+  EXPECT_EQ(stats.num_variables, 3);
+  EXPECT_EQ(stats.num_physical_qubits, 6);
+  EXPECT_EQ(stats.max_chain, 3);
+  EXPECT_NEAR(stats.average_chain, 2.0, 1e-12);
+}
+
+TEST(ValidateEmbeddingTest, CatchesViolations) {
+  const Graph logical = CompleteGraph(2);
+  const Graph hardware = PathGraph(4);
+  // Valid: chains {0,1} and {2} joined by edge (1,2).
+  Embedding good;
+  good.chains = {{0, 1}, {2}};
+  EXPECT_TRUE(ValidateEmbedding(logical, hardware, good).ok());
+  // Overlapping chains.
+  Embedding overlap;
+  overlap.chains = {{0, 1}, {1}};
+  EXPECT_FALSE(ValidateEmbedding(logical, hardware, overlap).ok());
+  // Disconnected chain.
+  Embedding disconnected;
+  disconnected.chains = {{0, 2}, {3}};
+  EXPECT_FALSE(ValidateEmbedding(logical, hardware, disconnected).ok());
+  // Uncovered logical edge.
+  Embedding uncovered;
+  uncovered.chains = {{0}, {3}};
+  EXPECT_FALSE(ValidateEmbedding(logical, hardware, uncovered).ok());
+  // Missing chain.
+  Embedding missing;
+  missing.chains = {{0}};
+  EXPECT_FALSE(ValidateEmbedding(logical, hardware, missing).ok());
+}
+
+TEST(MinorEmbedderTest, TriangleIntoChimeraCell) {
+  // K_3 cannot embed 1:1 into bipartite K_{4,4}; a chain of length 2 is
+  // required. The heuristic must find a valid embedding.
+  const Graph logical = CompleteGraph(3);
+  const Graph hardware = ChimeraGraph(1, 1, 4).value();
+  const Embedding embedding =
+      MinorEmbedder().Embed(logical, hardware).value();
+  EXPECT_TRUE(ValidateEmbedding(logical, hardware, embedding).ok());
+  const EmbeddingStats stats = ComputeEmbeddingStats(embedding);
+  EXPECT_GE(stats.num_physical_qubits, 4);  // at least one chain of 2
+}
+
+TEST(MinorEmbedderTest, K8IntoChimera2x2) {
+  const Graph logical = CompleteGraph(8);
+  const Graph hardware = ChimeraGraph(2, 2, 4).value();
+  MinorEmbedderOptions options;
+  options.max_passes = 12;
+  const auto result = MinorEmbedder(options).Embed(logical, hardware);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateEmbedding(logical, hardware, result.value()).ok());
+}
+
+TEST(MinorEmbedderTest, RandomGraphsIntoChimera) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph logical = RandomGnm(12, 24, seed).value();
+    const Graph hardware = ChimeraGraph(4, 4, 4).value();
+    MinorEmbedderOptions options;
+    options.seed = seed;
+    const auto result = MinorEmbedder(options).Embed(logical, hardware);
+    ASSERT_TRUE(result.ok()) << result.status() << " seed " << seed;
+    EXPECT_TRUE(ValidateEmbedding(logical, hardware, result.value()).ok());
+  }
+}
+
+TEST(MinorEmbedderTest, MkpQuboInteractionGraphEmbeds) {
+  // End-to-end slice of the Fig. 12 pipeline: MKP QUBO -> interaction graph
+  // -> chains on Pegasus-like hardware.
+  const Graph graph = RandomGnm(10, 22, 6).value();
+  const MkpQubo qubo = BuildMkpQubo(graph, 3).value();
+  const Graph logical = qubo.model.InteractionGraph();
+  const Graph hardware = PegasusLikeGraph(8).value();
+  MinorEmbedderOptions options;
+  options.max_passes = 40;
+  const auto result = MinorEmbedder(options).Embed(logical, hardware);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const EmbeddingStats stats = ComputeEmbeddingStats(result.value());
+  EXPECT_EQ(stats.num_variables, qubo.num_variables());
+  EXPECT_GE(stats.average_chain, 1.0);
+}
+
+TEST(MinorEmbedderTest, FailsOnHopelesslySmallHardware) {
+  const Graph logical = CompleteGraph(10);
+  const Graph hardware = PathGraph(5);
+  EXPECT_FALSE(MinorEmbedder().Embed(logical, hardware).ok());
+}
+
+TEST(MinorEmbedderTest, EmptyLogicalGraph) {
+  const Graph hardware = ChimeraGraph(1, 1, 2).value();
+  const Embedding embedding =
+      MinorEmbedder().Embed(Graph(0), hardware).value();
+  EXPECT_TRUE(embedding.chains.empty());
+}
+
+// -- clique template ------------------------------------------------------------
+
+class CliqueTemplateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueTemplateTest, RealisesCompleteGraph) {
+  const int n = GetParam();
+  const int t = 4;
+  const int m = (n + t - 1) / t;
+  const Graph hardware = ChimeraGraph(m, m, t).value();
+  const Embedding embedding = ChimeraCliqueTemplate(n, m, t).value();
+  // The template must be a valid embedding of K_n (hence of ANY n-vertex
+  // logical graph).
+  EXPECT_TRUE(ValidateEmbedding(CompleteGraph(n), hardware, embedding).ok());
+  const EmbeddingStats stats = ComputeEmbeddingStats(embedding);
+  EXPECT_EQ(stats.num_variables, n);
+  EXPECT_EQ(stats.max_chain, m + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliqueTemplateTest,
+                         ::testing::Values(1, 4, 7, 12, 16, 25, 36));
+
+TEST(CliqueTemplateTest, CapacityBound) {
+  EXPECT_EQ(ChimeraCliqueCapacity(4, 4), 16);
+  EXPECT_FALSE(ChimeraCliqueTemplate(17, 4, 4).ok());
+  EXPECT_FALSE(ChimeraCliqueTemplate(1, 0, 4).ok());
+  EXPECT_TRUE(ChimeraCliqueTemplate(0, 2, 4).value().chains.empty());
+}
+
+TEST(CliqueTemplateTest, WorksOnPegasusLikeToo) {
+  // Pegasus-like hardware is a Chimera superset, so the template stays valid.
+  const Graph hardware = PegasusLikeGraph(3).value();
+  const Embedding embedding = ChimeraCliqueTemplate(12, 3, 4).value();
+  EXPECT_TRUE(ValidateEmbedding(CompleteGraph(12), hardware, embedding).ok());
+}
+
+TEST(MinorEmbedderTest, DisconnectedLogicalVariables) {
+  // Variables with no quadratic terms still need (singleton) chains.
+  Graph logical(4);
+  logical.AddEdge(0, 1);
+  const Graph hardware = ChimeraGraph(2, 2, 4).value();
+  const Embedding embedding =
+      MinorEmbedder().Embed(logical, hardware).value();
+  EXPECT_TRUE(ValidateEmbedding(logical, hardware, embedding).ok());
+  EXPECT_EQ(embedding.chains[2].size(), 1u);
+  EXPECT_EQ(embedding.chains[3].size(), 1u);
+}
+
+}  // namespace
+}  // namespace qplex

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/decomposition.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/instances.h"
+#include "graph/io.h"
+#include "graph/kplex.h"
+
+namespace qplex {
+namespace {
+
+TEST(VertexBitsetTest, SetResetCount) {
+  VertexBitset set(70);
+  EXPECT_EQ(set.Count(), 0);
+  EXPECT_TRUE(set.None());
+  set.Set(0);
+  set.Set(63);
+  set.Set(69);
+  EXPECT_EQ(set.Count(), 3);
+  EXPECT_TRUE(set.Test(63));
+  EXPECT_FALSE(set.Test(62));
+  set.Reset(63);
+  EXPECT_EQ(set.Count(), 2);
+  EXPECT_EQ(set.ToList(), (VertexList{0, 69}));
+}
+
+TEST(VertexBitsetTest, IntersectCount) {
+  VertexBitset a(100);
+  VertexBitset b(100);
+  for (int v = 0; v < 100; v += 2) {
+    a.Set(v);
+  }
+  for (int v = 0; v < 100; v += 3) {
+    b.Set(v);
+  }
+  EXPECT_EQ(a.IntersectCount(b), 17);  // multiples of 6 in [0, 100)
+}
+
+TEST(VertexBitsetTest, FromListRoundTrip) {
+  const VertexList members{1, 5, 64, 65};
+  VertexBitset set = VertexBitset::FromList(80, members);
+  EXPECT_EQ(set.ToList(), members);
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);  // duplicate ignored
+  graph.AddEdge(2, 2);  // self-loop ignored
+  graph.AddEdge(1, 3);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 3));
+  EXPECT_EQ(graph.Degree(1), 2);
+  EXPECT_EQ(graph.Neighbors(1), (VertexList{0, 3}));
+}
+
+TEST(GraphTest, EdgesSorted) {
+  Graph graph(5);
+  graph.AddEdge(3, 1);
+  graph.AddEdge(0, 4);
+  graph.AddEdge(0, 2);
+  const auto edges = graph.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 2));
+  EXPECT_EQ(edges[1], std::make_pair(0, 4));
+  EXPECT_EQ(edges[2], std::make_pair(1, 3));
+}
+
+TEST(GraphTest, ComplementInvolution) {
+  auto graph = RandomGnm(12, 30, 7).value();
+  Graph complement = graph.Complement();
+  EXPECT_EQ(complement.num_edges(), 12 * 11 / 2 - 30);
+  Graph back = complement.Complement();
+  EXPECT_EQ(back.num_edges(), graph.num_edges());
+  for (const auto& [u, v] : graph.Edges()) {
+    EXPECT_TRUE(back.HasEdge(u, v));
+    EXPECT_FALSE(complement.HasEdge(u, v));
+  }
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph graph = CompleteGraph(5);
+  VertexBitset keep(5);
+  keep.Set(0);
+  keep.Set(2);
+  keep.Set(4);
+  std::vector<Vertex> mapping;
+  Graph sub = graph.InducedSubgraph(keep, &mapping);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3);
+  EXPECT_EQ(mapping[0], 0);
+  EXPECT_EQ(mapping[1], -1);
+  EXPECT_EQ(mapping[2], 1);
+  EXPECT_EQ(mapping[4], 2);
+}
+
+TEST(GraphTest, MakeGraphValidation) {
+  EXPECT_FALSE(MakeGraph(3, {{0, 3}}).ok());
+  EXPECT_FALSE(MakeGraph(3, {{1, 1}}).ok());
+  EXPECT_TRUE(MakeGraph(3, {{0, 1}, {1, 2}}).ok());
+}
+
+TEST(GraphTest, DegreeIn) {
+  Graph graph = PaperExampleGraph();
+  VertexBitset subset = VertexBitset::FromList(6, {0, 1, 3, 4});
+  EXPECT_EQ(graph.DegreeIn(0, subset), 3);
+  EXPECT_EQ(graph.DegreeIn(1, subset), 2);
+}
+
+// -- k-plex predicates --------------------------------------------------------
+
+TEST(KPlexTest, PaperExampleStructure) {
+  Graph graph = PaperExampleGraph();
+  EXPECT_EQ(graph.num_vertices(), 6);
+  EXPECT_EQ(graph.num_edges(), 7);
+  EXPECT_EQ(PaperExampleComplement().num_edges(), 8);
+
+  // The highlighted 2-plex {v1, v2, v4, v5} (0-based {0,1,3,4}).
+  const VertexBitset plex = VertexBitset::FromList(6, {0, 1, 3, 4});
+  EXPECT_TRUE(IsKPlex(graph, plex, 2));
+  EXPECT_TRUE(IsKCplex(PaperExampleComplement(), plex, 2));
+
+  // No 2-plex of size 5 exists.
+  for (std::uint64_t mask = 0; mask < 64; ++mask) {
+    if (__builtin_popcountll(mask) >= 5) {
+      EXPECT_FALSE(IsKPlexMask(AdjacencyMasks(graph), mask, 2))
+          << "mask " << mask;
+    }
+  }
+}
+
+TEST(KPlexTest, EmptyAndSingletonAreKPlexes) {
+  Graph graph = PaperExampleGraph();
+  EXPECT_TRUE(IsKPlex(graph, VertexBitset(6), 1));
+  EXPECT_TRUE(IsKPlex(graph, VertexBitset::FromList(6, {3}), 1));
+}
+
+TEST(KPlexTest, CliqueIsOnePlex) {
+  Graph graph = CompleteGraph(5);
+  VertexBitset all = VertexBitset::FromList(5, {0, 1, 2, 3, 4});
+  EXPECT_TRUE(IsKPlex(graph, all, 1));
+}
+
+TEST(KPlexTest, MaskAndBitsetFormsAgree) {
+  auto graph = RandomGnm(8, 14, 3).value();
+  const auto adjacency = AdjacencyMasks(graph);
+  for (std::uint64_t mask = 0; mask < 256; ++mask) {
+    const VertexBitset members = MaskToBitset(8, mask);
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_EQ(IsKPlexMask(adjacency, mask, k), IsKPlex(graph, members, k))
+          << "mask=" << mask << " k=" << k;
+      EXPECT_EQ(IsKCplexMask(adjacency, mask, k), IsKCplex(graph, members, k))
+          << "mask=" << mask << " k=" << k;
+    }
+  }
+}
+
+TEST(KPlexTest, PlexEqualsCplexOnComplement) {
+  auto graph = RandomGnm(9, 16, 5).value();
+  Graph complement = graph.Complement();
+  const auto adjacency = AdjacencyMasks(graph);
+  const auto co_adjacency = AdjacencyMasks(complement);
+  for (std::uint64_t mask = 0; mask < 512; ++mask) {
+    EXPECT_EQ(IsKPlexMask(adjacency, mask, 2),
+              IsKCplexMask(co_adjacency, mask, 2))
+        << "mask=" << mask;
+  }
+}
+
+TEST(KPlexTest, MaskBitsetConversions) {
+  const std::uint64_t mask = 0b100101;
+  VertexBitset set = MaskToBitset(6, mask);
+  EXPECT_EQ(set.ToList(), (VertexList{0, 2, 5}));
+  EXPECT_EQ(BitsetToMask(set), mask);
+}
+
+// -- decompositions -----------------------------------------------------------
+
+TEST(DecompositionTest, CoreNumbersOfCompleteGraph) {
+  Graph graph = CompleteGraph(6);
+  for (int c : CoreNumbers(graph)) {
+    EXPECT_EQ(c, 5);
+  }
+  EXPECT_EQ(Degeneracy(graph), 5);
+}
+
+TEST(DecompositionTest, CoreNumbersOfStar) {
+  Graph graph = StarGraph(7);
+  const auto core = CoreNumbers(graph);
+  for (int v = 0; v < 7; ++v) {
+    EXPECT_EQ(core[v], 1);
+  }
+}
+
+TEST(DecompositionTest, CoreNumbersOfKarate) {
+  // Zachary's karate club has degeneracy 4.
+  EXPECT_EQ(Degeneracy(KarateClub()), 4);
+}
+
+TEST(DecompositionTest, DegeneracyOrderingIsPermutation) {
+  auto graph = RandomGnm(20, 50, 9).value();
+  VertexList order = DegeneracyOrdering(graph);
+  std::sort(order.begin(), order.end());
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(order[v], v);
+  }
+}
+
+TEST(DecompositionTest, TriangleCounts) {
+  EXPECT_EQ(CountTriangles(CompleteGraph(5)), 10);
+  EXPECT_EQ(CountTriangles(CycleGraph(5).value()), 0);
+  EXPECT_EQ(CountTriangles(PetersenGraph()), 0);
+  EXPECT_EQ(CountTriangles(KarateClub()), 45);
+}
+
+TEST(DecompositionTest, EdgeSupportsOfTriangle) {
+  Graph graph = CompleteGraph(3);
+  for (int s : EdgeSupports(graph)) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(DecompositionTest, GreedyColoringIsProper) {
+  auto graph = RandomGnm(25, 80, 17).value();
+  const auto color = GreedyColoring(graph);
+  for (const auto& [u, v] : graph.Edges()) {
+    EXPECT_NE(color[u], color[v]);
+  }
+  const int max_color = *std::max_element(color.begin(), color.end());
+  EXPECT_LE(max_color, Degeneracy(graph));
+}
+
+// -- generators ---------------------------------------------------------------
+
+TEST(GeneratorsTest, GnmExactCounts) {
+  auto graph = RandomGnm(10, 23, 123).value();
+  EXPECT_EQ(graph.num_vertices(), 10);
+  EXPECT_EQ(graph.num_edges(), 23);
+}
+
+TEST(GeneratorsTest, GnmDeterministicPerSeed) {
+  auto a = RandomGnm(15, 40, 5).value();
+  auto b = RandomGnm(15, 40, 5).value();
+  EXPECT_EQ(a.Edges(), b.Edges());
+  auto c = RandomGnm(15, 40, 6).value();
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(GeneratorsTest, GnmRejectsOverfull) {
+  EXPECT_FALSE(RandomGnm(4, 7, 1).ok());
+  EXPECT_TRUE(RandomGnm(4, 6, 1).ok());
+}
+
+TEST(GeneratorsTest, GnmDenseUsesRejectionPath) {
+  auto graph = RandomGnm(40, 20, 2).value();  // sparse => rejection path
+  EXPECT_EQ(graph.num_edges(), 20);
+}
+
+TEST(GeneratorsTest, GnpExtremes) {
+  EXPECT_EQ(RandomGnp(8, 0.0, 1).value().num_edges(), 0);
+  EXPECT_EQ(RandomGnp(8, 1.0, 1).value().num_edges(), 28);
+  EXPECT_FALSE(RandomGnp(8, 1.5, 1).ok());
+}
+
+TEST(GeneratorsTest, PlantedKPlexContainsPlex) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto graph = PlantedKPlex(12, 5, 2, 0.2, seed).value();
+    // Some 2-plex of size >= 5 must exist (the planted one).
+    const auto adjacency = AdjacencyMasks(graph);
+    bool found = false;
+    for (std::uint64_t mask = 0; mask < (1u << 12) && !found; ++mask) {
+      if (__builtin_popcountll(mask) == 5 && IsKPlexMask(adjacency, mask, 2)) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorsTest, FixedTopologies) {
+  EXPECT_EQ(CompleteGraph(6).num_edges(), 15);
+  EXPECT_EQ(CycleGraph(6).value().num_edges(), 6);
+  EXPECT_FALSE(CycleGraph(2).ok());
+  EXPECT_EQ(PathGraph(6).num_edges(), 5);
+  EXPECT_EQ(StarGraph(6).num_edges(), 5);
+  EXPECT_EQ(PetersenGraph().num_edges(), 15);
+  EXPECT_EQ(KarateClub().num_edges(), 78);
+}
+
+// -- IO -----------------------------------------------------------------------
+
+TEST(IoTest, EdgeListRoundTrip) {
+  auto graph = RandomGnm(9, 15, 4).value();
+  auto parsed = ParseEdgeList(WriteEdgeList(graph)).value();
+  EXPECT_EQ(parsed.num_vertices(), 9);
+  EXPECT_EQ(parsed.Edges(), graph.Edges());
+}
+
+TEST(IoTest, EdgeListComments) {
+  auto graph = ParseEdgeList("# header\n4\n# mid comment\n0 1\n2 3\n").value();
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.num_edges(), 2);
+}
+
+TEST(IoTest, EdgeListErrors) {
+  EXPECT_FALSE(ParseEdgeList("").ok());
+  EXPECT_FALSE(ParseEdgeList("3\n0 9\n").ok());
+  EXPECT_FALSE(ParseEdgeList("abc\n").ok());
+}
+
+TEST(IoTest, DimacsRoundTrip) {
+  auto graph = RandomGnm(11, 20, 8).value();
+  auto parsed = ParseDimacs(WriteDimacs(graph)).value();
+  EXPECT_EQ(parsed.num_vertices(), 11);
+  EXPECT_EQ(parsed.Edges(), graph.Edges());
+}
+
+TEST(IoTest, DimacsErrors) {
+  EXPECT_FALSE(ParseDimacs("e 1 2\n").ok());               // edge before p
+  EXPECT_FALSE(ParseDimacs("p edge 3 1\ne 0 1\n").ok());   // 0-based edge
+  EXPECT_FALSE(ParseDimacs("p clique 3 1\n").ok());        // wrong kind
+  EXPECT_TRUE(ParseDimacs("c hi\np edge 3 1\ne 1 2\n").ok());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadEdgeListFile("/nonexistent/x.el").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadDimacsFile("/nonexistent/x.col").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qplex

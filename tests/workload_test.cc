@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "classical/exact.h"
+#include "workload/datasets.h"
+
+namespace qplex {
+namespace {
+
+TEST(WorkloadTest, GateModelSizesMatchSpecs) {
+  for (const DatasetSpec& spec : GateModelDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+    EXPECT_EQ(graph.num_vertices(), spec.num_vertices) << spec.name;
+    EXPECT_EQ(graph.num_edges(), spec.num_edges) << spec.name;
+  }
+}
+
+TEST(WorkloadTest, GateModelOptimaMatchPaperTable3) {
+  // Calibrated seeds: maximum 2-plex sizes 4, 4, 5, 6 (paper Table III).
+  const std::vector<int> expected = {4, 4, 5, 6};
+  const auto& datasets = GateModelDatasets();
+  ASSERT_EQ(datasets.size(), expected.size());
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    const Graph graph = MakeDataset(datasets[i]).value();
+    EXPECT_EQ(SolveMkpByEnumeration(graph, 2).value().size, expected[i])
+        << datasets[i].name;
+  }
+}
+
+TEST(WorkloadTest, KSweepDatasetProfile) {
+  const Graph graph = MakeDataset(GateModelKSweepDataset()).value();
+  EXPECT_EQ(graph.num_vertices(), 10);
+  EXPECT_EQ(graph.num_edges(), 37);
+  // Calibrated profile: sizes flat-then-growing in k (see datasets.cc).
+  EXPECT_EQ(SolveMkpByEnumeration(graph, 2).value().size, 8);
+  EXPECT_EQ(SolveMkpByEnumeration(graph, 5).value().size, 9);
+}
+
+TEST(WorkloadTest, AnnealDatasetsMaterialize) {
+  for (const DatasetSpec& spec : AnnealDatasets()) {
+    const Graph graph = MakeDataset(spec).value();
+    EXPECT_EQ(graph.num_vertices(), spec.num_vertices) << spec.name;
+    EXPECT_EQ(graph.num_edges(), spec.num_edges) << spec.name;
+  }
+}
+
+TEST(WorkloadTest, ChainSweepCoversPaperRange) {
+  const auto datasets = ChainSweepDatasets();
+  ASSERT_FALSE(datasets.empty());
+  EXPECT_EQ(datasets.front().num_vertices, 10);
+  EXPECT_EQ(datasets.back().num_vertices, 43);
+  for (const DatasetSpec& spec : datasets) {
+    EXPECT_EQ(spec.num_edges,
+              spec.num_vertices * (spec.num_vertices - 1) / 4);
+  }
+}
+
+TEST(WorkloadTest, DatasetsAreReproducible) {
+  const DatasetSpec& spec = GateModelDatasets()[3];
+  const Graph a = MakeDataset(spec).value();
+  const Graph b = MakeDataset(spec).value();
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(WorkloadTest, FindDatasetByName) {
+  EXPECT_TRUE(FindDataset("G_{10,23}").ok());
+  EXPECT_TRUE(FindDataset("D_{30,300}").ok());
+  EXPECT_TRUE(FindDataset("G_{10,37}").ok());
+  EXPECT_TRUE(FindDataset("C_{10,22}").ok());
+  EXPECT_FALSE(FindDataset("G_{99,1}").ok());
+}
+
+}  // namespace
+}  // namespace qplex

@@ -1,0 +1,165 @@
+// qplex command-line solver: finds the maximum k-plex of a graph given in
+// DIMACS or edge-list format, with a selectable solver backend.
+//
+//   qplex_cli --input graph.col [--format dimacs|edgelist] [--k 2]
+//             [--algorithm bs|enum|qmkp|qamkp|milp] [--seed 1]
+//
+// With --input - the graph is read from stdin.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "qplex/qplex.h"
+
+namespace qplex {
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string format = "dimacs";
+  std::string algorithm = "bs";
+  int k = 2;
+  std::uint64_t seed = 1;
+};
+
+void PrintUsage() {
+  std::cerr << "usage: qplex_cli --input <file|-> [--format dimacs|edgelist]\n"
+               "                 [--k <int>] [--algorithm "
+               "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n";
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--input") {
+      QPLEX_ASSIGN_OR_RETURN(options.input, next());
+    } else if (arg == "--format") {
+      QPLEX_ASSIGN_OR_RETURN(options.format, next());
+    } else if (arg == "--algorithm") {
+      QPLEX_ASSIGN_OR_RETURN(options.algorithm, next());
+    } else if (arg == "--k") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      options.k = std::stoi(value);
+    } else if (arg == "--seed") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      options.seed = std::stoull(value);
+    } else if (arg == "--help" || arg == "-h") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.input.empty()) {
+    return Status::InvalidArgument("--input is required");
+  }
+  return options;
+}
+
+Result<Graph> LoadGraph(const CliOptions& options) {
+  std::string text;
+  if (options.input == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else if (options.format == "dimacs") {
+    return LoadDimacsFile(options.input);
+  } else {
+    return LoadEdgeListFile(options.input);
+  }
+  return options.format == "dimacs" ? ParseDimacs(text) : ParseEdgeList(text);
+}
+
+Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
+  if (options.algorithm == "bs") {
+    BsSolver solver;
+    return solver.Solve(graph, options.k);
+  }
+  if (options.algorithm == "enum") {
+    return SolveMkpByEnumeration(graph, options.k);
+  }
+  if (options.algorithm == "qmkp") {
+    QtkpOptions qtkp;
+    qtkp.backend = graph.num_vertices() <= 10 ? OracleBackend::kCircuit
+                                              : OracleBackend::kPredicate;
+    qtkp.seed = options.seed;
+    QPLEX_ASSIGN_OR_RETURN(QmkpResult result,
+                           RunQmkp(graph, options.k, qtkp));
+    MkpSolution solution;
+    solution.members = result.best_plex;
+    solution.size = result.best_size;
+    solution.mask = result.best_mask;
+    return solution;
+  }
+  if (options.algorithm == "qamkp") {
+    QPLEX_ASSIGN_OR_RETURN(MkpQubo qubo, BuildMkpQubo(graph, options.k));
+    HybridSolverOptions hybrid;
+    hybrid.seed = options.seed;
+    hybrid.refine = [&qubo](QuboSample* sample) { qubo.ImproveSample(sample); };
+    QPLEX_ASSIGN_OR_RETURN(AnnealResult annealed,
+                           HybridSolver(hybrid).Run(qubo.model));
+    MkpSolution solution;
+    solution.members = qubo.RepairToPlex(annealed.best_sample);
+    solution.size = static_cast<int>(solution.members.size());
+    return solution;
+  }
+  if (options.algorithm == "milp") {
+    QPLEX_ASSIGN_OR_RETURN(MkpQubo qubo, BuildMkpQubo(graph, options.k));
+    const LinearizedQubo linearized = LinearizeQubo(qubo.model);
+    MilpSolverOptions milp_options;
+    milp_options.time_limit_seconds = 60;
+    milp_options.incumbent_heuristic =
+        MakeQuboRoundingHeuristic(qubo.model, linearized);
+    QPLEX_ASSIGN_OR_RETURN(MilpSolution milp,
+                           MilpSolver(milp_options).Solve(linearized.milp));
+    if (!milp.feasible) {
+      return Status::Internal("MILP produced no feasible point");
+    }
+    const QuboSample sample = ExtractSample(linearized, milp.x);
+    MkpSolution solution;
+    solution.members = qubo.RepairToPlex(sample);
+    solution.size = static_cast<int>(solution.members.size());
+    return solution;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + options.algorithm);
+}
+
+int Main(int argc, char** argv) {
+  const Result<CliOptions> options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
+    PrintUsage();
+    return 2;
+  }
+  const Result<Graph> graph = LoadGraph(options.value());
+  if (!graph.ok()) {
+    std::cerr << "failed to load graph: " << graph.status() << "\n";
+    return 1;
+  }
+  std::cerr << "loaded " << graph.value().ToString() << ", solving k="
+            << options.value().k << " via " << options.value().algorithm
+            << "\n";
+  const Result<MkpSolution> solution = Solve(options.value(), graph.value());
+  if (!solution.ok()) {
+    std::cerr << "solver failed: " << solution.status() << "\n";
+    return 1;
+  }
+  std::cout << "size " << solution.value().size << "\nmembers";
+  for (Vertex v : solution.value().members) {
+    std::cout << " " << v;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qplex
+
+int main(int argc, char** argv) { return qplex::Main(argc, argv); }

@@ -1,0 +1,55 @@
+// Shared helper for bench harnesses: emit a BENCH_<name>.json run report next
+// to the table output. The tables on stdout stay byte-identical; the report
+// carries the counters/trace that the tables summarise.
+
+#ifndef QPLEX_BENCH_BENCH_REPORT_H_
+#define QPLEX_BENCH_BENCH_REPORT_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/run_report.h"
+
+namespace qplex::bench {
+
+/// Maps a human figure/table name ("Fig. 10", "Table V") to a filename stem:
+/// alphanumerics kept, everything else collapsed to single underscores.
+inline std::string BenchReportStem(const std::string& name) {
+  std::string stem;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      stem.push_back(c);
+    } else if (!stem.empty() && stem.back() != '_') {
+      stem.push_back('_');
+    }
+  }
+  while (!stem.empty() && stem.back() == '_') {
+    stem.pop_back();
+  }
+  return stem.empty() ? std::string("bench") : stem;
+}
+
+/// Writes `report` as BENCH_<stem>.json in the current directory, or in
+/// $QPLEX_BENCH_REPORT_DIR if set; an empty QPLEX_BENCH_REPORT_DIR disables
+/// emission. Failures are reported on stderr and never fail the bench.
+inline void EmitBenchReport(const obs::RunReport& report) {
+  const char* dir_env = std::getenv("QPLEX_BENCH_REPORT_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : ".";
+  if (dir.empty()) {
+    return;
+  }
+  const std::string path =
+      dir + "/BENCH_" + BenchReportStem(report.name()) + ".json";
+  const Status written = report.WriteJsonFile(path);
+  if (!written.ok()) {
+    std::cerr << "bench report not written: " << written << "\n";
+    return;
+  }
+  std::cerr << "bench report written to " << path << "\n";
+}
+
+}  // namespace qplex::bench
+
+#endif  // QPLEX_BENCH_BENCH_REPORT_H_

@@ -13,9 +13,13 @@
 #include "anneal/hybrid_solver.h"
 #include "anneal/path_integral_annealer.h"
 #include "anneal/simulated_annealer.h"
+#include "bench_report.h"
 #include "common/table.h"
 #include "milp/milp_solver.h"
 #include "milp/qubo_linearization.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "qubo/mkp_qubo.h"
 #include "workload/datasets.h"
 
@@ -31,6 +35,10 @@ inline int RunCostRuntimeFigure(const std::string& figure_name,
   const DatasetSpec spec = FindDataset(dataset_name).value();
   const Graph graph = MakeDataset(spec).value();
   const MkpQubo qubo = BuildMkpQubo(graph, kK).value();
+
+  // Per-figure metric capture: clean slate in, BENCH_<figure>.json out.
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
 
   std::cout << figure_name << " -- objective cost vs runtime on " << spec.name
             << " (k = 3, R = 2, Delta-t = 1 us)\n"
@@ -144,6 +152,19 @@ inline int RunCostRuntimeFigure(const std::string& figure_name,
                "within ~10^4 us, far ahead of MILP's early incumbents; the "
                "hybrid lands at/near the optimum at its contract time; SA "
                "descends steadily in between.\n";
+
+  obs::RunReport report(figure_name);
+  report.SetMeta("dataset", spec.name);
+  report.SetMeta("k", kK);
+  report.SetMeta("qa_budget_micros", qa_budget_micros);
+  report.SetMeta("sa_budget_micros", sa_budget_micros);
+  report.SetMeta("milp_budget_seconds", milp_budget_seconds);
+  report.SetMeta("qa_final_energy", qa.best_energy);
+  report.SetMeta("sa_final_energy", sa.best_energy);
+  report.SetMeta("hybrid_final_energy", hybrid.best_energy);
+  report.SetMeta("milp_feasible", milp.feasible);
+  report.Capture();
+  EmitBenchReport(report);
   return 0;
 }
 

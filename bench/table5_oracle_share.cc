@@ -7,7 +7,11 @@
 
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "oracle/mkp_oracle.h"
 #include "workload/datasets.h"
 
@@ -16,6 +20,8 @@ int main() {
   constexpr int kK = 2;
   std::cout << "Table V -- Proportional cost share of the three oracle "
                "components (k = 2)\n\n";
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
 
   AsciiTable table({"Dataset", "Degree count (%)", "Degree comparison (%)",
                     "Size determination (%)", "Oracle qubits",
@@ -40,5 +46,10 @@ int main() {
   std::cout << "\nPaper shape check: degree counting dominates (77-93%) and "
                "its share grows with n; the other two stages split the "
                "remainder roughly evenly.\n";
+
+  obs::RunReport run_report("Table V");
+  run_report.SetMeta("k", kK);
+  run_report.Capture();
+  bench::EmitBenchReport(run_report);
   return 0;
 }

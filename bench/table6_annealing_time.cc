@@ -8,7 +8,11 @@
 #include <iostream>
 
 #include "anneal/path_integral_annealer.h"
+#include "bench_report.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "qubo/mkp_qubo.h"
 #include "workload/datasets.h"
 
@@ -20,6 +24,8 @@ int main() {
 
   std::cout << "Table VI -- qaMKP objective cost vs annealing time Delta-t "
                "(budget 1000 us, k = 3, R = 2)\n\n";
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
 
   std::vector<std::string> header{"Dataset"};
   for (double dt : annealing_times) {
@@ -61,5 +67,11 @@ int main() {
             << "Paper shape check: at a fixed budget, short anneals with "
                "many shots win -- the minimum sits in the small-Delta-t "
                "columns and cost generally degrades as Delta-t grows.\n";
+
+  obs::RunReport report("Table VI");
+  report.SetMeta("k", kK);
+  report.SetMeta("budget_micros", kBudgetMicros);
+  report.Capture();
+  bench::EmitBenchReport(report);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "anneal/annealer.h"
 
+#include "obs/metrics.h"
+
 namespace qplex {
 namespace anneal_internal {
 
@@ -11,6 +13,10 @@ void RecordSample(const QuboModel& model, const QuboSample& sample,
     result->best_sample = sample;
   }
   result->trace.push_back(CostTracePoint{budget_micros, result->best_energy});
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("anneal.samples").Increment();
+  registry.GetSeries("anneal.best_energy_trajectory")
+      .Append(result->best_energy);
 }
 
 QuboSample RandomSample(int num_variables, Rng& rng) {

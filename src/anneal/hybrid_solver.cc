@@ -5,6 +5,8 @@
 
 #include "anneal/simulated_annealer.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 
@@ -35,9 +37,12 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
   if (options_.min_runtime_micros <= 0 || options_.sweeps_per_restart < 1) {
     return Status::InvalidArgument("bad hybrid solver options");
   }
+  obs::TraceSpan span("anneal.hybrid");
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
+  std::int64_t polish_flips = 0;
+  std::int64_t basin_hops = 0;
 
   SimulatedAnnealerOptions sa_options;
   sa_options.sweeps_per_shot = options_.sweeps_per_restart;
@@ -56,6 +61,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
       options_.refine(&polished);
       flips += SteepestDescent(model, &polished);
     }
+    polish_flips += flips;
     result.sweeps += restart.sweeps + flips;  // polish counted as sweeps
     result.modeled_micros +=
         restart.modeled_micros + flips * options_.micros_per_sweep;
@@ -76,6 +82,8 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
       options_.refine(&hop);
       hop_flips += SteepestDescent(model, &hop);
     }
+    polish_flips += hop_flips;
+    ++basin_hops;
     result.sweeps += hop_flips;
     result.modeled_micros += hop_flips * options_.micros_per_sweep;
     anneal_internal::RecordSample(model, hop, result.modeled_micros, &result);
@@ -87,6 +95,12 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
     result.trace.back().budget_micros = result.modeled_micros;
   }
   result.wall_seconds = watch.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("anneal.hybrid.runs").Increment();
+  registry.GetCounter("anneal.hybrid.restarts").Add(result.shots);
+  registry.GetCounter("anneal.hybrid.basin_hops").Add(basin_hops);
+  registry.GetCounter("anneal.hybrid.polish_flips").Add(polish_flips);
+  registry.GetGauge("anneal.hybrid.best_energy").Set(result.best_energy);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 
@@ -18,11 +20,14 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
     return Status::InvalidArgument("sweeps and rounds must be positive");
   }
 
+  obs::TraceSpan span("anneal.pt");
   const int n = model.num_variables();
   const int R = options_.num_replicas;
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
+  std::int64_t moves_accepted = 0;
+  std::int64_t swaps_accepted = 0;
 
   // Geometric beta ladder: replica 0 hottest, R-1 coldest.
   std::vector<double> betas(R);
@@ -51,6 +56,7 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
               rng.UniformDouble() < std::exp(-betas[r] * delta)) {
             replicas[r][i] ^= 1;
             energies[r] += delta;
+            ++moves_accepted;
           }
         }
       }
@@ -64,6 +70,7 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
       if (log_accept >= 0 || rng.UniformDouble() < std::exp(log_accept)) {
         std::swap(replicas[r], replicas[r + 1]);
         std::swap(energies[r], energies[r + 1]);
+        ++swaps_accepted;
       }
     }
     result.modeled_micros +=
@@ -74,6 +81,17 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
   }
   result.shots = options_.rounds;
   result.wall_seconds = watch.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("anneal.pt.runs").Increment();
+  registry.GetCounter("anneal.pt.rounds").Add(options_.rounds);
+  registry.GetCounter("anneal.pt.sweeps").Add(result.sweeps);
+  registry.GetCounter("anneal.pt.moves_proposed")
+      .Add(result.sweeps * static_cast<std::int64_t>(n));
+  registry.GetCounter("anneal.pt.moves_accepted").Add(moves_accepted);
+  registry.GetCounter("anneal.pt.swap_attempts")
+      .Add(static_cast<std::int64_t>(options_.rounds) * (R - 1));
+  registry.GetCounter("anneal.pt.swaps_accepted").Add(swaps_accepted);
+  registry.GetGauge("anneal.pt.best_energy").Set(result.best_energy);
   return result;
 }
 

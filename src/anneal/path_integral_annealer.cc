@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 
@@ -41,9 +43,11 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
     neighbors[key.second].emplace_back(key.first, weight);
   }
 
+  obs::TraceSpan span("anneal.sqa");
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
+  std::int64_t flips_accepted = 0;
 
   std::vector<std::vector<std::int8_t>> spins(
       P, std::vector<std::int8_t>(n, 1));
@@ -91,6 +95,7 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
           if (delta <= 0 ||
               rng.UniformDouble() < std::exp(-options_.beta * delta)) {
             spins[p][i] = static_cast<std::int8_t>(-spins[p][i]);
+            ++flips_accepted;
           }
         }
       }
@@ -117,6 +122,14 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
                                   result.modeled_micros, &result);
   }
   result.wall_seconds = watch.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("anneal.sqa.runs").Increment();
+  registry.GetCounter("anneal.sqa.shots").Add(result.shots);
+  registry.GetCounter("anneal.sqa.sweeps").Add(result.sweeps);
+  registry.GetCounter("anneal.sqa.moves_proposed")
+      .Add(result.sweeps * static_cast<std::int64_t>(n) * P);
+  registry.GetCounter("anneal.sqa.moves_accepted").Add(flips_accepted);
+  registry.GetGauge("anneal.sqa.best_energy").Set(result.best_energy);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 
@@ -14,10 +16,12 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
       options_.beta_final < options_.beta_initial) {
     return Status::InvalidArgument("need 0 < beta_initial <= beta_final");
   }
+  obs::TraceSpan span("anneal.sa");
   const int n = model.num_variables();
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
+  std::int64_t moves_accepted = 0;  // flushed to the registry once at the end
 
   // Geometric beta ladder shared by every shot.
   std::vector<double> betas(options_.sweeps_per_shot);
@@ -40,6 +44,7 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
         const double delta = model.FlipDelta(sample, i);
         if (delta <= 0 || rng.UniformDouble() < std::exp(-b * delta)) {
           sample[i] ^= 1;
+          ++moves_accepted;
         }
       }
       ++result.sweeps;
@@ -51,6 +56,14 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
                                   &result);
   }
   result.wall_seconds = watch.ElapsedSeconds();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("anneal.sa.runs").Increment();
+  registry.GetCounter("anneal.sa.shots").Add(result.shots);
+  registry.GetCounter("anneal.sa.sweeps").Add(result.sweeps);
+  registry.GetCounter("anneal.sa.moves_proposed")
+      .Add(result.sweeps * static_cast<std::int64_t>(n));
+  registry.GetCounter("anneal.sa.moves_accepted").Add(moves_accepted);
+  registry.GetGauge("anneal.sa.best_energy").Set(result.best_energy);
   return result;
 }
 

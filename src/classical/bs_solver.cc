@@ -5,6 +5,8 @@
 
 #include "classical/reduce.h"
 #include "graph/kplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 namespace {
@@ -178,6 +180,7 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
+  obs::TraceSpan span("bs.solve");
   stats_ = BsSolverStats{};
   Stopwatch watch;
 
@@ -197,8 +200,12 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   const Graph* search_graph = &graph;
   ReductionResult reduction;
   if (options_.use_reduction) {
+    obs::TraceSpan reduce_span("bs.reduce");
     reduction = ReduceForTarget(graph, k, best.size + 1);
     search_graph = &reduction.reduced;
+    obs::MetricsRegistry::Global()
+        .GetCounter("bs.reduction_removed_vertices")
+        .Add(n - reduction.reduced.num_vertices());
   }
 
   SearchContext ctx;
@@ -231,6 +238,7 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   }
 
   if (ctx.n > 0) {
+    obs::TraceSpan branch_span("bs.branch");
     const std::uint64_t all =
         ctx.n == 64 ? ~std::uint64_t{0}
                     : (std::uint64_t{1} << ctx.n) - 1;
@@ -239,6 +247,15 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
 
   stats_.elapsed_seconds = watch.ElapsedSeconds();
   stats_.completed = !ctx.aborted;
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("bs.solves").Increment();
+  registry.GetCounter("bs.branch_nodes").Add(stats_.branch_nodes);
+  registry.GetCounter("bs.prunes_bound").Add(stats_.prunes_bound);
+  registry.GetCounter("bs.prunes_infeasible").Add(stats_.prunes_infeasible);
+  if (ctx.aborted) {
+    registry.GetCounter("bs.deadline_hits").Increment();
+  }
 
   if (ctx.best.size > best.size && !ctx.best.members.empty()) {
     // Map reduced-graph ids back to original ids.

@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "graph/kplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 
@@ -18,6 +20,7 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
   if (n == 0) {
     return best;
   }
+  obs::TraceSpan span("exact.enumerate");
   const auto adjacency = AdjacencyMasks(graph);
   const std::uint64_t space = std::uint64_t{1} << n;
   for (std::uint64_t mask = 0; mask < space; ++mask) {
@@ -28,6 +31,10 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
     }
   }
   best.members = MaskToBitset(n, best.mask).ToList();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("exact.enumerations").Increment();
+  registry.GetCounter("exact.masks_scanned")
+      .Add(static_cast<std::int64_t>(space));
   return best;
 }
 
@@ -40,6 +47,7 @@ Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
+  obs::TraceSpan span("exact.count");
   const auto adjacency = AdjacencyMasks(graph);
   const std::uint64_t space = std::uint64_t{1} << n;
   std::int64_t count = 0;
@@ -48,6 +56,10 @@ Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
       ++count;
     }
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("exact.counts").Increment();
+  registry.GetCounter("exact.masks_scanned")
+      .Add(static_cast<std::int64_t>(space));
   return count;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "graph/kplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qplex {
 namespace {
@@ -121,6 +123,8 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
   if (n == 0) {
     return best;
   }
+  obs::TraceSpan span("grasp.solve");
+  std::int64_t improvements = 0;
   const auto adjacency = AdjacencyMasks(graph);
   Rng rng(options_.seed);
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
@@ -129,9 +133,15 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
     if (std::popcount(plex) > best.size) {
       best.size = std::popcount(plex);
       best.mask = plex;
+      ++improvements;
     }
   }
   best.members = MaskToBitset(n, best.mask).ToList();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("grasp.solves").Increment();
+  registry.GetCounter("grasp.iterations").Add(options_.iterations);
+  registry.GetCounter("grasp.improvements").Add(improvements);
+  registry.GetGauge("grasp.best_size").Set(best.size);
   return best;
 }
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace qplex {
 
@@ -18,6 +19,7 @@ class Stopwatch {
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
   std::int64_t ElapsedNanos() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -46,7 +48,7 @@ class Deadline {
   }
   double RemainingSeconds() const {
     if (budget_seconds_ <= 0) {
-      return 1e300;
+      return std::numeric_limits<double>::infinity();
     }
     return budget_seconds_ - watch_.ElapsedSeconds();
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace qplex {
 
 int OptimalGroverIterations(int num_qubits, std::int64_t num_marked) {
@@ -44,6 +46,10 @@ GroverSimulation::GroverSimulation(int num_qubits,
         << "marked state " << basis << " outside register";
     is_marked_[basis] = true;
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("grover.simulations").Increment();
+  registry.GetGauge("grover.diffusion_cost").Set(
+      static_cast<double>(DiffusionCost(num_qubits)));
   Reset();
 }
 
@@ -63,6 +69,11 @@ void GroverSimulation::Run(int count) {
   for (int i = 0; i < count; ++i) {
     Step();
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("grover.iterations").Add(count);
+  registry.GetCounter("grover.runs").Increment();
+  registry.GetHistogram("grover.success_probability")
+      .Record(SuccessProbability());
 }
 
 double GroverSimulation::SuccessProbability() const {

@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace qplex {
 
 Result<QmkpResult> RunQmkp(const Graph& graph, int k,
                            const QtkpOptions& options,
                            const QmkpProgressCallback& on_progress) {
+  obs::TraceSpan span("qmkp");
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("qmkp.runs").Increment();
+  obs::Series& threshold_trajectory =
+      registry.GetSeries("qmkp.threshold_trajectory");
+  obs::Series& best_size_trajectory =
+      registry.GetSeries("qmkp.best_size_trajectory");
+  Stopwatch watch;
+
   const int n = graph.num_vertices();
   QmkpResult result;
   if (n == 0) {
@@ -22,6 +35,7 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
   int probe_index = 0;
   while (low <= high) {
     const int mid = low + (high - low) / 2;
+    threshold_trajectory.Append(mid);
     // Decorrelate the probes' measurement randomness.
     probe_options.seed = options.seed + 0x9e3779b97f4a7c15ULL *
                                             static_cast<std::uint64_t>(
@@ -42,7 +56,12 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
     result.total_oracle_calls += probe.oracle_calls;
     result.total_gate_cost += probe.gate_cost;
 
+    registry.GetCounter("qmkp.probes").Increment();
+    registry.GetCounter("qmkp.oracle_calls").Add(probe.oracle_calls);
+    registry.GetCounter("qmkp.gate_cost").Add(probe.gate_cost);
+
     if (probe_result.found) {
+      registry.GetCounter("qmkp.probes_feasible").Increment();
       // A verified measurement can exceed the probed threshold (the oracle
       // marks *all* plexes of size >= T); exploit it.
       if (probe.found_size > result.best_size) {
@@ -53,6 +72,14 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
       if (result.first_result_size == 0) {
         result.first_result_gate_cost = result.total_gate_cost;
         result.first_result_size = probe.found_size;
+        // The paper's progressiveness claim: when the first verified plex
+        // arrived, both in modeled gate cost and in wall-clock time.
+        registry.GetGauge("qmkp.first_result_seconds")
+            .Set(watch.ElapsedSeconds());
+        registry.GetGauge("qmkp.first_result_gate_cost")
+            .Set(static_cast<double>(result.first_result_gate_cost));
+        registry.GetGauge("qmkp.first_result_size")
+            .Set(result.first_result_size);
       }
       // Overall failure accounting: this probe would have been misclassified
       // only if all of its allowed attempts had failed.
@@ -64,11 +91,14 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
       high = mid - 1;
     }
     result.probes.push_back(probe);
+    best_size_trajectory.Append(result.best_size);
     if (on_progress) {
       on_progress(probe, result);
     }
   }
   result.error_probability = 1.0 - success_product;
+  registry.GetGauge("qmkp.best_size").Set(result.best_size);
+  registry.GetGauge("qmkp.error_probability").Set(result.error_probability);
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "graph/kplex.h"
 #include "grover/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quantum/statevector.h"
 
 namespace qplex {
@@ -23,6 +25,7 @@ struct OracleEvaluation {
 Result<OracleEvaluation> EvaluateOracle(const Graph& graph, int k,
                                         int threshold,
                                         const QtkpOptions& options) {
+  obs::TraceSpan span("qtkp.oracle_eval");
   OracleEvaluation eval;
   // The circuit is always built: even the predicate backend reports the
   // faithful hardware cost model of one oracle call.
@@ -50,10 +53,33 @@ Result<OracleEvaluation> EvaluateOracle(const Graph& graph, int k,
   return eval;
 }
 
+/// Flushes one finished qTKP search into the global registry on scope exit
+/// (the search has several success/failure return paths). Runs after
+/// `return result;` has moved the result out, so it may only read scalar
+/// fields (which the defaulted move leaves intact), never `plex`.
+struct QtkpMetricsScope {
+  const QtkpResult& result;
+
+  ~QtkpMetricsScope() {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("qtkp.searches").Increment();
+    registry.GetCounter("qtkp.attempts").Add(result.attempts);
+    registry.GetCounter("qtkp.oracle_calls").Add(result.oracle_calls);
+    registry.GetCounter("qtkp.gate_cost").Add(result.gate_cost);
+    if (result.found) {
+      registry.GetCounter("qtkp.found").Increment();
+    }
+    registry.GetHistogram("qtkp.iterations_per_attempt")
+        .Record(static_cast<double>(result.iterations));
+    registry.GetGauge("qtkp.error_probability").Set(result.error_probability);
+  }
+};
+
 }  // namespace
 
 Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
                            const QtkpOptions& options) {
+  obs::TraceSpan span("qtkp");
   const int n = graph.num_vertices();
   if (n < 1 || n > StateVectorSimulator::kMaxQubits) {
     return Status::InvalidArgument("qTKP simulation requires 1 <= n <= " +
@@ -69,6 +95,8 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
   QtkpResult result;
   result.num_solutions = static_cast<std::int64_t>(eval.marked.size());
   result.oracle_costs = eval.costs;
+  QtkpMetricsScope metrics_scope{result};
+  obs::TraceSpan search_span("qtkp.grover_search");
 
   const auto adjacency = AdjacencyMasks(graph);
   Rng rng(options.seed);

@@ -1,0 +1,475 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace qplex::obs {
+
+bool JsonValue::AsBool() const {
+  QPLEX_CHECK(type_ == Type::kBool) << "JsonValue is not a bool";
+  return bool_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  QPLEX_CHECK(type_ == Type::kInt) << "JsonValue is not an integer";
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  QPLEX_CHECK(is_number()) << "JsonValue is not a number";
+  return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  QPLEX_CHECK(type_ == Type::kString) << "JsonValue is not a string";
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) {
+    return array_.size();
+  }
+  if (type_ == Type::kObject) {
+    return object_.size();
+  }
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  QPLEX_CHECK(type_ == Type::kArray && index < array_.size())
+      << "bad array access";
+  return array_[index];
+}
+
+void JsonValue::Append(JsonValue value) {
+  QPLEX_CHECK(type_ == Type::kArray) << "Append on non-array";
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  QPLEX_CHECK(type_ == Type::kObject) << "Set on non-object";
+  for (auto& [existing, held] : object_) {
+    if (existing == key) {
+      held = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [existing, held] : object_) {
+    if (existing == key) {
+      return &held;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  // Prefer the short %.15g form when it round-trips; fall back to %.17g,
+  // which round-trips every finite double.
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.15g", value);
+  double reparsed = 0;
+  std::sscanf(buffer, "%lf", &reparsed);
+  if (reparsed != value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  *out += buffer;
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Type::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Type::kString:
+      *out += JsonEscape(string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        if (indent >= 0) {
+          AppendNewlineIndent(out, indent, depth + 1);
+        }
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) {
+        AppendNewlineIndent(out, indent, depth);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        if (indent >= 0) {
+          AppendNewlineIndent(out, indent, depth + 1);
+        }
+        *out += JsonEscape(object_[i].first);
+        *out += indent >= 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) {
+        AppendNewlineIndent(out, indent, depth);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    QPLEX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    Result<JsonValue> result = [&]() -> Result<JsonValue> {
+      const char c = text_[pos_];
+      if (c == '{') {
+        return ParseObject();
+      }
+      if (c == '[') {
+        return ParseArray();
+      }
+      if (c == '"') {
+        QPLEX_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      if (ConsumeLiteral("true")) {
+        return JsonValue(true);
+      }
+      if (ConsumeLiteral("false")) {
+        return JsonValue(false);
+      }
+      if (ConsumeLiteral("null")) {
+        return JsonValue();
+      }
+      return ParseNumber();
+    }();
+    --depth_;
+    return result;
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      QPLEX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      QPLEX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return object;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return array;
+    }
+    for (;;) {
+      QPLEX_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return array;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // produced by our own writer; they decode as two 3-byte units).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool is_integer = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Error("expected a JSON value");
+    }
+    if (is_integer) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out-of-range integers fall through to double parsing.
+    }
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace qplex::obs

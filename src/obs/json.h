@@ -1,0 +1,106 @@
+#ifndef QPLEX_OBS_JSON_H_
+#define QPLEX_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qplex::obs {
+
+/// A minimal owned JSON document tree — the serialization substrate of the
+/// observability layer (run reports, bench artifacts). Deliberately small:
+/// no third-party dependency, insertion-ordered objects (reports render in
+/// the order fields were added), exact round-tripping of 64-bit integers
+/// (counter values must not pass through a double).
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}          // NOLINT
+  JsonValue(std::int64_t value) : type_(Type::kInt), int_(value) {}    // NOLINT
+  JsonValue(int value) : JsonValue(static_cast<std::int64_t>(value)) {}  // NOLINT
+  JsonValue(double value) : type_(Type::kDouble), double_(value) {}    // NOLINT
+  JsonValue(std::string value)                                         // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}      // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; QPLEX_CHECK on type mismatch (programmer error).
+  bool AsBool() const;
+  std::int64_t AsInt() const;
+  /// Numeric value as double (valid for kInt and kDouble).
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+  void Append(JsonValue value);
+
+  /// Object access. `Set` replaces an existing key in place (order kept).
+  void Set(std::string key, JsonValue value);
+  /// Pointer to the member value, or nullptr when absent / not an object.
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Serializes. `indent < 0` renders compact one-line JSON; `indent >= 0`
+  /// pretty-prints with that many spaces per nesting level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing non-whitespace is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes `text` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_JSON_H_

@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace qplex::obs {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Lock-free running maximum via compare-exchange.
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(kRelaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value, kRelaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(kRelaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value, kRelaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::Set(double value) {
+  value_.store(value, kRelaxed);
+  bool had_value = has_value_.exchange(true, kRelaxed);
+  if (!had_value) {
+    // First write races are benign: both writers then run AtomicMax.
+    max_.store(value, kRelaxed);
+  }
+  AtomicMax(&max_, value);
+}
+
+void Gauge::Reset() {
+  value_.store(0, kRelaxed);
+  max_.store(0, kRelaxed);
+  has_value_.store(false, kRelaxed);
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0)) {
+    return 0;
+  }
+  const int exponent = std::ilogb(value);  // floor(log2(value))
+  const int index = exponent + 32;
+  if (index < 0) {
+    return 0;
+  }
+  if (index >= kNumBuckets) {
+    return kNumBuckets - 1;
+  }
+  return index;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  return std::ldexp(1.0, index - 32);  // 2^(index-32)
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, kRelaxed);
+  const std::int64_t previous = count_.fetch_add(1, kRelaxed);
+  sum_.fetch_add(value, kRelaxed);
+  if (previous == 0) {
+    min_.store(value, kRelaxed);
+    max_.store(value, kRelaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(kRelaxed);
+  snapshot.sum = sum_.load(kRelaxed);
+  snapshot.min = min_.load(kRelaxed);
+  snapshot.max = max_.load(kRelaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::int64_t bucket_count = buckets_[i].load(kRelaxed);
+    if (bucket_count > 0) {
+      snapshot.buckets.emplace_back(BucketLowerBound(i), bucket_count);
+    }
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, kRelaxed);
+  }
+  count_.store(0, kRelaxed);
+  sum_.store(0, kRelaxed);
+  min_.store(0, kRelaxed);
+  max_.store(0, kRelaxed);
+}
+
+void Series::Append(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_appends_;
+  // Honour the decimation stride: only every stride_-th append is stored.
+  if ((total_appends_ - 1) % stride_ != 0) {
+    return;
+  }
+  values_.push_back(value);
+  if (values_.size() >= capacity_) {
+    // Drop every other stored point and double the stride; the stored points
+    // stay uniformly spaced over the whole history.
+    std::vector<double> kept;
+    kept.reserve(values_.size() / 2 + 1);
+    for (std::size_t i = 0; i < values_.size(); i += 2) {
+      kept.push_back(values_[i]);
+    }
+    values_ = std::move(kept);
+    stride_ *= 2;
+  }
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+std::int64_t Series::TotalAppends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_appends_;
+}
+
+std::int64_t Series::Stride() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stride_;
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+  total_appends_ = 0;
+  stride_ = 1;
+}
+
+namespace {
+
+/// Find-or-create into a node-stable map; generic over the metric type.
+template <typename T>
+T& FindOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+                std::string_view name) {
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&counters_, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&histograms_, name);
+}
+
+Series& MetricsRegistry::GetSeries(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&series_, name);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+  for (auto& [name, series] : series_) {
+    series->Reset();
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Get());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Get());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  for (const auto& [name, series] : series_) {
+    snapshot.series.emplace_back(name, series->Values());
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace qplex::obs

@@ -1,0 +1,157 @@
+#ifndef QPLEX_OBS_METRICS_H_
+#define QPLEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qplex::obs {
+
+/// Monotonically increasing 64-bit counter. All mutation is a single relaxed
+/// atomic add, so solver hot paths (and parallel-tempering style threads) can
+/// record without locks; readers see totals that are exact once the writers
+/// quiesce.
+class Counter {
+ public:
+  void Add(std::int64_t delta) { value_.fetch_add(delta, kOrder); }
+  void Increment() { Add(1); }
+  std::int64_t Get() const { return value_.load(kOrder); }
+  void Reset() { value_.store(0, kOrder); }
+
+ private:
+  static constexpr auto kOrder = std::memory_order_relaxed;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written double value (plus a running max, useful for peaks like
+/// "largest success probability seen").
+class Gauge {
+ public:
+  void Set(double value);
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<double> value_{0};
+  std::atomic<double> max_{0};
+  std::atomic<bool> has_value_{false};
+};
+
+/// Immutable view of a histogram taken by Snapshot().
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  /// Non-empty log-scale buckets as (inclusive lower bound, count). Bucket i
+  /// covers [2^(i-32), 2^(i-31)); values <= 0 land in the first bucket.
+  std::vector<std::pair<double, std::int64_t>> buckets;
+
+  double Mean() const { return count > 0 ? sum / count : 0; }
+};
+
+/// Lock-free log-scale histogram: values are bucketed by binary exponent
+/// (64 power-of-two buckets spanning [2^-32, 2^32)), which covers iteration
+/// counts, gate costs and probabilities alike with ~2x resolution.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(double value);
+  std::int64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Bucket index for `value` (exposed for tests).
+  static int BucketIndex(double value);
+  /// Inclusive lower bound of bucket `index`.
+  static double BucketLowerBound(int index);
+
+ private:
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Append-only sequence of doubles — trajectories (binary-search thresholds,
+/// best-energy-so-far curves). Mutex-guarded: appends happen at solver-probe
+/// granularity, not in inner loops. Long series are decimated: once
+/// `capacity` points are stored, every other one is dropped and the append
+/// stride doubles, keeping a uniformly spaced sketch of bounded size.
+class Series {
+ public:
+  explicit Series(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  void Append(double value);
+  std::vector<double> Values() const;
+  /// Total appends (>= stored size once decimation kicks in).
+  std::int64_t TotalAppends() const;
+  /// Current append stride (1 until the first decimation).
+  std::int64_t Stride() const;
+  void Reset();
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<double> values_;
+  std::int64_t total_appends_ = 0;
+  std::int64_t stride_ = 1;
+};
+
+/// Name-addressed snapshot of a whole registry, ordered by metric name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+/// Owns named metrics. Lookup takes a mutex (callers are expected to look up
+/// once per solver call or cache the returned reference); recording on the
+/// returned objects is lock-free. References stay valid for the registry's
+/// lifetime — Reset() zeroes values without destroying metric objects.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+  Series& GetSeries(std::string_view name);
+
+  /// Zeroes every metric (references handed out remain valid).
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide registry every built-in instrumentation site records
+  /// into. Run reports snapshot it; the CLI resets it before solving.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+};
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_METRICS_H_

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qplex::obs {
+
+namespace internal {
+
+struct TraceNode {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total_nanos = 0;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  TraceNode* FindOrCreateChild(std::string_view child_name) {
+    for (const auto& child : children) {
+      if (child->name == child_name) {
+        return child.get();
+      }
+    }
+    children.push_back(std::make_unique<TraceNode>());
+    children.back()->name = std::string(child_name);
+    return children.back().get();
+  }
+};
+
+namespace {
+
+/// Per-thread stack of open spans; the stack is keyed per tracer so a
+/// test-local Tracer never interleaves with the global one.
+thread_local std::vector<std::pair<const Tracer*, TraceNode*>> tls_span_stack;
+
+TraceNodeSnapshot SnapshotNode(const TraceNode& node) {
+  TraceNodeSnapshot snapshot;
+  snapshot.name = node.name;
+  snapshot.count = node.count;
+  snapshot.total_nanos = node.total_nanos;
+  snapshot.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    snapshot.children.push_back(SnapshotNode(*child));
+  }
+  return snapshot;
+}
+
+}  // namespace
+}  // namespace internal
+
+std::int64_t TraceNodeSnapshot::SelfNanos() const {
+  std::int64_t children_nanos = 0;
+  for (const TraceNodeSnapshot& child : children) {
+    children_nanos += child.total_nanos;
+  }
+  return std::max<std::int64_t>(0, total_nanos - children_nanos);
+}
+
+Tracer::Tracer() : root_(std::make_unique<internal::TraceNode>()) {
+  root_->name = "root";
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_->children.clear();
+  root_->count = 0;
+  root_->total_nanos = 0;
+}
+
+TraceNodeSnapshot Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return internal::SnapshotNode(*root_);
+}
+
+internal::TraceNode* Tracer::OpenSpan(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  internal::TraceNode* parent = root_.get();
+  for (auto it = internal::tls_span_stack.rbegin();
+       it != internal::tls_span_stack.rend(); ++it) {
+    if (it->first == this) {
+      parent = it->second;
+      break;
+    }
+  }
+  internal::TraceNode* node = parent->FindOrCreateChild(name);
+  internal::tls_span_stack.emplace_back(this, node);
+  return node;
+}
+
+void Tracer::CloseSpan(internal::TraceNode* node,
+                       std::int64_t elapsed_nanos) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++node->count;
+    node->total_nanos += elapsed_nanos;
+  }
+  // Spans are scoped objects, so this thread's innermost span for this
+  // tracer is necessarily `node`.
+  for (auto it = internal::tls_span_stack.rbegin();
+       it != internal::tls_span_stack.rend(); ++it) {
+    if (it->first == this) {
+      internal::tls_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Tracer& tracer)
+    : tracer_(tracer), node_(tracer.OpenSpan(name)) {}
+
+TraceSpan::~TraceSpan() { tracer_.CloseSpan(node_, watch_.ElapsedNanos()); }
+
+namespace {
+
+void FormatNode(const TraceNodeSnapshot& node, int depth, std::string* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%s  count=%lld  total=%.3fms",
+                depth * 2, "", node.name.c_str(),
+                static_cast<long long>(node.count),
+                node.total_nanos * 1e-6);
+  *out += line;
+  if (!node.children.empty()) {
+    std::snprintf(line, sizeof(line), "  self=%.3fms",
+                  node.SelfNanos() * 1e-6);
+    *out += line;
+  }
+  out->push_back('\n');
+  for (const TraceNodeSnapshot& child : node.children) {
+    FormatNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatTraceTree(const TraceNodeSnapshot& root) {
+  std::string out;
+  for (const TraceNodeSnapshot& child : root.children) {
+    FormatNode(child, 0, &out);
+  }
+  if (out.empty()) {
+    out = "(no spans recorded)\n";
+  }
+  return out;
+}
+
+}  // namespace qplex::obs

@@ -1,0 +1,88 @@
+#ifndef QPLEX_OBS_TRACE_H_
+#define QPLEX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace qplex::obs {
+
+/// One aggregated node of the trace tree: spans with the same name under the
+/// same parent merge (count incremented, durations summed), so a solver that
+/// probes qTKP eight times shows one "qtkp" child with count = 8 rather than
+/// eight siblings.
+struct TraceNodeSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total_nanos = 0;  ///< inclusive (children's time counted)
+  std::vector<TraceNodeSnapshot> children;
+
+  double TotalSeconds() const { return total_nanos * 1e-9; }
+  /// Time not attributed to any child span.
+  std::int64_t SelfNanos() const;
+};
+
+namespace internal {
+struct TraceNode;
+}  // namespace internal
+
+/// Owns a trace tree built from nested TraceSpan scopes. Open/close take a
+/// mutex, which is fine at span granularity (solver call, probe, sweep
+/// batch — never per inner-loop step). Each thread tracks its own span stack;
+/// a span opened on a thread with no enclosing span parents at the root.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Drops all recorded spans. Must not be called while spans are open.
+  void Reset();
+
+  TraceNodeSnapshot Snapshot() const;
+
+  /// The process-wide tracer every TraceSpan records into.
+  static Tracer& Global();
+
+ private:
+  friend class TraceSpan;
+
+  internal::TraceNode* OpenSpan(std::string_view name);
+  void CloseSpan(internal::TraceNode* node, std::int64_t elapsed_nanos);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<internal::TraceNode> root_;
+};
+
+/// RAII scoped timer: opens a named span in the global tracer on
+/// construction, records its duration on destruction. Nested spans form the
+/// trace tree (solver -> probe -> oracle eval, etc.).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : TraceSpan(name, Tracer::Global()) {}
+  TraceSpan(std::string_view name, Tracer& tracer);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer& tracer_;
+  internal::TraceNode* node_;
+  Stopwatch watch_;
+};
+
+/// Renders a snapshot as an indented text tree with counts and timings —
+/// the CLI's --verbose-trace output.
+std::string FormatTraceTree(const TraceNodeSnapshot& root);
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_TRACE_H_

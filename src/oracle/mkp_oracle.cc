@@ -7,6 +7,8 @@
 #include "arith/comparator.h"
 #include "arith/popcount.h"
 #include "graph/kplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quantum/basis_sim.h"
 
 namespace qplex {
@@ -32,6 +34,7 @@ Result<MkpOracle> MkpOracle::Build(const Graph& graph, int k, int threshold,
     return Status::InvalidArgument("threshold outside [0, n]");
   }
 
+  obs::TraceSpan span("oracle.build");
   MkpOracle oracle;
   oracle.num_vertices_ = n;
   oracle.k_ = k;
@@ -156,6 +159,21 @@ Result<MkpOracle> MkpOracle::Build(const Graph& graph, int k, int threshold,
   // --- U_check^dagger: restore every ancilla (paper Fig. 12). ---------------
   circuit.BeginStage(OracleStages::kUncompute);
   circuit.AppendInverseOfRange(0, compute_end);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("oracle.builds").Increment();
+  registry.GetGauge("oracle.num_qubits").Set(oracle.num_qubits());
+  const OracleCostReport report = oracle.CostReport();
+  registry.GetCounter("oracle.stage_cost.encoding").Add(report.encoding);
+  registry.GetCounter("oracle.stage_cost.degree_count")
+      .Add(report.degree_count);
+  registry.GetCounter("oracle.stage_cost.degree_compare")
+      .Add(report.degree_compare);
+  registry.GetCounter("oracle.stage_cost.size_check").Add(report.size_check);
+  registry.GetCounter("oracle.stage_cost.oracle_flip").Add(report.oracle_flip);
+  registry.GetCounter("oracle.stage_cost.uncompute").Add(report.uncompute);
+  registry.GetHistogram("oracle.total_cost")
+      .Record(static_cast<double>(report.ComputeTotal()));
 
   return oracle;
 }

@@ -8,6 +8,7 @@
 ///
 /// Modules:
 ///   common/    Status/Result error model, PRNG, stopwatch, table printing
+///   obs/       observability: metrics registry, trace spans, JSON run reports
 ///   graph/     graphs, k-plex predicates, generators, IO, named instances
 ///   quantum/   circuit IR + basis-state and state-vector simulators
 ///   arith/     reversible adders / comparators / popcount circuit builders
@@ -52,6 +53,10 @@
 #include "grover/qmkp.h"
 #include "grover/qtkp.h"
 #include "milp/milp_solver.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "milp/qubo_linearization.h"
 #include "milp/simplex.h"
 #include "oracle/mkp_oracle.h"

@@ -1,0 +1,135 @@
+// End-to-end smoke test of the qplex_cli binary: the --metrics-json report
+// must be parseable JSON carrying solver counters and the trace tree, and
+// malformed numeric flags must be rejected without crashing. The binary path
+// is injected by CMake as QPLEX_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace qplex {
+namespace {
+
+std::filesystem::path TempDir() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qplex_cli_smoke";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::filesystem::path WriteExampleGraph() {
+  // Two K4 blocks joined by one edge; the maximum 2-plex is a K4 (size 4).
+  const std::filesystem::path path = TempDir() / "graph.el";
+  std::ofstream out(path);
+  out << "8\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n4 5\n4 6\n5 6\n5 7\n6 7\n";
+  return path;
+}
+
+/// Runs the CLI with `args`; returns its exit code (-1 if it did not exit
+/// normally). Output is redirected into `stdout_path` when non-empty.
+int RunCli(const std::string& args, const std::string& stdout_path = "") {
+  std::string command = std::string(QPLEX_CLI_PATH) + " " + args;
+  command += stdout_path.empty() ? " >/dev/null" : " >" + stdout_path;
+  command += " 2>/dev/null";
+  const int raw = std::system(command.c_str());
+#ifdef WIFEXITED
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+  return raw;
+#endif
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CliSmokeTest, QmkpMetricsJsonIsParseableAndComplete) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path report = TempDir() / "qmkp_report.json";
+  const int exit_code =
+      RunCli("--input " + graph.string() +
+             " --format edgelist --algorithm qmkp --k 2 --seed 3" +
+             " --metrics-json " + report.string());
+  ASSERT_EQ(exit_code, 0);
+
+  const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(ReadFile(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue& json = parsed.value();
+  EXPECT_EQ(json.Find("report")->AsString(), "qplex_cli");
+  EXPECT_EQ(json.Find("meta")->Find("algorithm")->AsString(), "qmkp");
+  EXPECT_EQ(json.Find("meta")->Find("k")->AsInt(), 2);
+  EXPECT_EQ(json.Find("meta")->Find("solution_size")->AsInt(), 4);
+
+  // Solver counters: the binary search probed and called the oracle.
+  const obs::JsonValue* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("qmkp.probes"), nullptr);
+  EXPECT_GE(counters->Find("qmkp.probes")->AsInt(), 1);
+  ASSERT_NE(counters->Find("qmkp.oracle_calls"), nullptr);
+  EXPECT_GE(counters->Find("qmkp.oracle_calls")->AsInt(), 1);
+
+  // Threshold trajectory of the binary search.
+  const obs::JsonValue* trajectory =
+      json.Find("series")->Find("qmkp.threshold_trajectory");
+  ASSERT_NE(trajectory, nullptr);
+  EXPECT_GE(trajectory->size(), 1u);
+
+  // Nested span timings: root -> qmkp -> (grover search / oracle evals).
+  const obs::JsonValue* trace = json.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_GE(trace->Find("children")->size(), 1u);
+  const obs::JsonValue& qmkp_span = trace->Find("children")->at(0);
+  EXPECT_EQ(qmkp_span.Find("name")->AsString(), "qmkp");
+  EXPECT_GE(qmkp_span.Find("total_seconds")->AsDouble(), 0.0);
+  EXPECT_GE(qmkp_span.Find("children")->size(), 1u);
+}
+
+TEST(CliSmokeTest, MetricsJsonWorksForClassicalBackend) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path report = TempDir() / "bs_report.json";
+  const int exit_code = RunCli("--input " + graph.string() +
+                               " --format edgelist --algorithm bs --k 2" +
+                               " --metrics-json " + report.string());
+  ASSERT_EQ(exit_code, 0);
+  const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(ReadFile(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* counters = parsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("bs.branch_nodes"), nullptr);
+  EXPECT_GE(counters->Find("bs.branch_nodes")->AsInt(), 1);
+}
+
+TEST(CliSmokeTest, RejectsMalformedNumericFlags) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::string base = "--input " + graph.string() + " --format edgelist";
+  EXPECT_EQ(RunCli(base + " --k notanumber"), 2);
+  EXPECT_EQ(RunCli(base + " --k 2x"), 2);
+  EXPECT_EQ(RunCli(base + " --k 99999999999999999999"), 2);
+  EXPECT_EQ(RunCli(base + " --k 0"), 2);
+  EXPECT_EQ(RunCli(base + " --seed 12junk"), 2);
+  EXPECT_EQ(RunCli(base + " --k"), 2);  // missing value
+}
+
+TEST(CliSmokeTest, SolvesWithoutMetricsFlagUnchanged) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path out = TempDir() / "plain.out";
+  const int exit_code = RunCli("--input " + graph.string() +
+                                   " --format edgelist --algorithm bs --k 2",
+                               out.string());
+  ASSERT_EQ(exit_code, 0);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("size 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qplex

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -164,10 +165,19 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
 }
 
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch watch;
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, (seconds + 1.0) * 1e3);
+}
+
 TEST(DeadlineTest, InfiniteNeverExpires) {
   Deadline deadline = Deadline::Infinite();
   EXPECT_FALSE(deadline.Expired());
-  EXPECT_GT(deadline.RemainingSeconds(), 1e100);
+  EXPECT_EQ(deadline.RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
 }
 
 TEST(DeadlineTest, TinyBudgetExpires) {

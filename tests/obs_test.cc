@@ -1,0 +1,376 @@
+// Tests for the observability layer: metric semantics, span nesting, JSON
+// round-trips and thread-safety of concurrent recording.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace qplex::obs {
+namespace {
+
+// --- Counter / Gauge ---------------------------------------------------------
+
+TEST(CounterTest, AddIncrementReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Get(), 0);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Get(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.Get(), 0);
+}
+
+TEST(GaugeTest, TracksLastValueAndMax) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Get(), -1.0);
+  EXPECT_DOUBLE_EQ(gauge.Max(), 3.5);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Get(), 0.0);
+  gauge.Set(-7.0);
+  // After a reset the first Set seeds the max, even if negative.
+  EXPECT_DOUBLE_EQ(gauge.Max(), -7.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Record(9.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 9.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 4.0);
+}
+
+TEST(HistogramTest, LogScaleBucketing) {
+  // Values in the same binary octave share a bucket; different octaves don't.
+  EXPECT_EQ(Histogram::BucketIndex(2.0), Histogram::BucketIndex(3.9));
+  EXPECT_NE(Histogram::BucketIndex(2.0), Histogram::BucketIndex(4.0));
+  // The bucket's lower bound is at most the value it holds.
+  for (double value : {0.001, 0.5, 1.0, 7.0, 1e6}) {
+    const int index = Histogram::BucketIndex(value);
+    EXPECT_LE(Histogram::BucketLowerBound(index), value) << value;
+  }
+  // Non-positive and tiny values are clamped into the first bucket.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  // Huge values are clamped into the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, SnapshotListsOnlyNonEmptyBuckets) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(1.5);
+  histogram.Record(1024.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.buckets.size(), 2u);
+  EXPECT_EQ(snapshot.buckets[0].second, 2);
+  EXPECT_EQ(snapshot.buckets[1].second, 1);
+  EXPECT_DOUBLE_EQ(snapshot.buckets[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.buckets[1].first, 1024.0);
+}
+
+// --- Series ------------------------------------------------------------------
+
+TEST(SeriesTest, AppendAndValues) {
+  Series series;
+  series.Append(1);
+  series.Append(2);
+  series.Append(3);
+  EXPECT_EQ(series.Values(), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(series.TotalAppends(), 3);
+  EXPECT_EQ(series.Stride(), 1);
+}
+
+TEST(SeriesTest, DecimatesAtCapacity) {
+  Series series(/*capacity=*/8);
+  for (int i = 0; i < 100; ++i) {
+    series.Append(i);
+  }
+  EXPECT_EQ(series.TotalAppends(), 100);
+  EXPECT_GT(series.Stride(), 1);
+  const std::vector<double> values = series.Values();
+  ASSERT_LE(values.size(), 8u);
+  ASSERT_GE(values.size(), 2u);
+  // The sketch stays uniformly spaced and in order.
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GT(values[i], values[i - 1]);
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Get(), 5);
+}
+
+TEST(MetricsRegistryTest, ResetKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Gauge& gauge = registry.GetGauge("g");
+  counter.Add(3);
+  gauge.Set(1.5);
+  registry.Reset();
+  EXPECT_EQ(counter.Get(), 0);
+  EXPECT_DOUBLE_EQ(gauge.Get(), 0.0);
+  counter.Increment();  // the pre-Reset reference still records
+  EXPECT_EQ(registry.GetCounter("c").Get(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "zeta");
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.GetCounter("shared.counter");
+      Histogram& histogram = registry.GetHistogram("shared.histogram");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter.Increment();
+        histogram.Record(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("shared.counter").Get(),
+            kThreads * kOpsPerThread);
+  const HistogramSnapshot snapshot =
+      registry.GetHistogram("shared.histogram").Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.sum, kThreads * kOpsPerThread);
+}
+
+// --- Tracing -----------------------------------------------------------------
+
+TEST(TraceTest, SpansNestAndMerge) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan outer("solve", tracer);
+    {
+      TraceSpan inner("probe", tracer);
+    }
+    {
+      TraceSpan inner("probe", tracer);
+    }
+  }
+  const TraceNodeSnapshot root = tracer.Snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNodeSnapshot& solve = root.children[0];
+  EXPECT_EQ(solve.name, "solve");
+  EXPECT_EQ(solve.count, 3);
+  ASSERT_EQ(solve.children.size(), 1u);  // same-name spans merged
+  EXPECT_EQ(solve.children[0].name, "probe");
+  EXPECT_EQ(solve.children[0].count, 6);
+  // Inclusive time: parent covers its children.
+  EXPECT_GE(solve.total_nanos, solve.children[0].total_nanos);
+  EXPECT_GE(solve.SelfNanos(), 0);
+}
+
+TEST(TraceTest, SiblingSpansStaySiblings) {
+  Tracer tracer;
+  {
+    TraceSpan a("a", tracer);
+  }
+  {
+    TraceSpan b("b", tracer);
+  }
+  const TraceNodeSnapshot root = tracer.Snapshot();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "a");
+  EXPECT_EQ(root.children[1].name, "b");
+}
+
+TEST(TraceTest, ResetDropsSpans) {
+  Tracer tracer;
+  {
+    TraceSpan span("x", tracer);
+  }
+  tracer.Reset();
+  EXPECT_TRUE(tracer.Snapshot().children.empty());
+}
+
+TEST(TraceTest, FormatTraceTreeMentionsEverySpan) {
+  Tracer tracer;
+  {
+    TraceSpan outer("outer", tracer);
+    TraceSpan inner("inner", tracer);
+  }
+  const std::string text = FormatTraceTree(tracer.Snapshot());
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+}
+
+TEST(TraceTest, ThreadsRecordIndependentStacks) {
+  Tracer tracer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 100; ++i) {
+        TraceSpan outer("work", tracer);
+        TraceSpan inner("step", tracer);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const TraceNodeSnapshot root = tracer.Snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].count, 400);
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].count, 400);
+}
+
+// --- JSON --------------------------------------------------------------------
+
+TEST(JsonTest, DumpParsesBack) {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", "qplex");
+  object.Set("count", std::int64_t{9007199254740993});  // > 2^53: int-exact
+  object.Set("ratio", 0.1);
+  object.Set("flag", true);
+  object.Set("nothing", JsonValue());
+  JsonValue array = JsonValue::Array();
+  array.Append(1);
+  array.Append(2.5);
+  array.Append("three");
+  object.Set("list", std::move(array));
+
+  for (int indent : {-1, 0, 2}) {
+    const std::string text = object.Dump(indent);
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for " << text;
+    const JsonValue& value = parsed.value();
+    EXPECT_EQ(value.Find("name")->AsString(), "qplex");
+    EXPECT_EQ(value.Find("count")->AsInt(), 9007199254740993);
+    EXPECT_DOUBLE_EQ(value.Find("ratio")->AsDouble(), 0.1);
+    EXPECT_TRUE(value.Find("flag")->AsBool());
+    EXPECT_TRUE(value.Find("nothing")->is_null());
+    ASSERT_EQ(value.Find("list")->size(), 3u);
+    EXPECT_EQ(value.Find("list")->at(0).AsInt(), 1);
+    EXPECT_DOUBLE_EQ(value.Find("list")->at(1).AsDouble(), 2.5);
+    EXPECT_EQ(value.Find("list")->at(2).AsString(), "three");
+  }
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  const std::string text = JsonValue("a\"b\\c\n\t\x01").Dump();
+  const Result<JsonValue> parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("'single'").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("z", 1);
+  object.Set("a", 2);
+  object.Set("m", 3);
+  object.Set("z", 4);  // replace keeps position
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[0].first, "z");
+  EXPECT_EQ(object.members()[0].second.AsInt(), 4);
+  EXPECT_EQ(object.members()[1].first, "a");
+  EXPECT_EQ(object.members()[2].first, "m");
+}
+
+// --- RunReport ---------------------------------------------------------------
+
+TEST(RunReportTest, JsonRoundTripCarriesMetricsAndTrace) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  registry.GetCounter("solver.calls").Add(7);
+  registry.GetGauge("solver.best").Set(4.0);
+  registry.GetHistogram("solver.cost").Record(100.0);
+  registry.GetSeries("solver.trajectory").Append(1.0);
+  registry.GetSeries("solver.trajectory").Append(2.0);
+  {
+    TraceSpan outer("solve", tracer);
+    TraceSpan inner("probe", tracer);
+  }
+
+  RunReport report("unit_test");
+  report.SetMeta("k", 2);
+  report.SetMeta("dataset", "toy");
+  report.Capture(registry, tracer);
+
+  const Result<JsonValue> parsed = JsonValue::Parse(report.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& json = parsed.value();
+  EXPECT_EQ(json.Find("report")->AsString(), "unit_test");
+  EXPECT_EQ(json.Find("schema_version")->AsInt(), 1);
+  EXPECT_EQ(json.Find("meta")->Find("k")->AsInt(), 2);
+  EXPECT_EQ(json.Find("meta")->Find("dataset")->AsString(), "toy");
+  EXPECT_EQ(json.Find("counters")->Find("solver.calls")->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(json.Find("gauges")->Find("solver.best")->AsDouble(), 4.0);
+  const JsonValue* histogram = json.Find("histograms")->Find("solver.cost");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Find("count")->AsInt(), 1);
+  EXPECT_DOUBLE_EQ(histogram->Find("mean")->AsDouble(), 100.0);
+  const JsonValue* series = json.Find("series")->Find("solver.trajectory");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ(series->at(1).AsDouble(), 2.0);
+  const JsonValue* trace = json.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->Find("children")->size(), 1u);
+  EXPECT_EQ(trace->Find("children")->at(0).Find("name")->AsString(), "solve");
+}
+
+TEST(RunReportTest, PrettyStringMentionsMetrics) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  registry.GetCounter("alpha.count").Add(3);
+  RunReport report("pretty");
+  report.Capture(registry, tracer);
+  const std::string text = report.ToPrettyString();
+  EXPECT_NE(text.find("pretty"), std::string::npos);
+  EXPECT_NE(text.find("alpha.count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qplex::obs

@@ -3,9 +3,13 @@
 //
 //   qplex_cli --input graph.col [--format dimacs|edgelist] [--k 2]
 //             [--algorithm bs|enum|qmkp|qamkp|milp] [--seed 1]
+//             [--metrics-json <file|->] [--verbose-trace]
 //
-// With --input - the graph is read from stdin.
+// With --input - the graph is read from stdin. --metrics-json writes a
+// structured run report (counters, histograms, trace tree) after solving;
+// --verbose-trace prints the nested span timings to stderr.
 
+#include <charconv>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -21,12 +25,30 @@ struct CliOptions {
   std::string algorithm = "bs";
   int k = 2;
   std::uint64_t seed = 1;
+  std::string metrics_json;  // empty = no report; "-" = stdout
+  bool verbose_trace = false;
 };
 
 void PrintUsage() {
   std::cerr << "usage: qplex_cli --input <file|-> [--format dimacs|edgelist]\n"
                "                 [--k <int>] [--algorithm "
-               "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n";
+               "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n"
+               "                 [--metrics-json <file|->] [--verbose-trace]\n";
+}
+
+/// Strict whole-string integer parse into `T`; rejects trailing junk,
+/// overflow, and empty input with InvalidArgument instead of throwing.
+template <typename T>
+Result<T> ParseInt(const std::string& flag, const std::string& value) {
+  T parsed{};
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end || value.empty()) {
+    return Status::InvalidArgument("bad integer for " + flag + ": '" + value +
+                                   "'");
+  }
+  return parsed;
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -47,10 +69,14 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(options.algorithm, next());
     } else if (arg == "--k") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
-      options.k = std::stoi(value);
+      QPLEX_ASSIGN_OR_RETURN(options.k, ParseInt<int>(arg, value));
     } else if (arg == "--seed") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
-      options.seed = std::stoull(value);
+      QPLEX_ASSIGN_OR_RETURN(options.seed, ParseInt<std::uint64_t>(arg, value));
+    } else if (arg == "--metrics-json") {
+      QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
+    } else if (arg == "--verbose-trace") {
+      options.verbose_trace = true;
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -59,6 +85,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.input.empty()) {
     return Status::InvalidArgument("--input is required");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("--k must be >= 1");
   }
   return options;
 }
@@ -131,6 +160,24 @@ Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
   return Status::InvalidArgument("unknown algorithm: " + options.algorithm);
 }
 
+/// Builds the structured run report after a solve; meta fields capture the
+/// invocation, the instance, and the headline result.
+obs::RunReport BuildReport(const CliOptions& options, const Graph& graph,
+                           const MkpSolution& solution, double wall_seconds) {
+  obs::RunReport report("qplex_cli");
+  report.SetMeta("input", options.input);
+  report.SetMeta("format", options.format);
+  report.SetMeta("algorithm", options.algorithm);
+  report.SetMeta("k", options.k);
+  report.SetMeta("seed", static_cast<std::int64_t>(options.seed));
+  report.SetMeta("num_vertices", graph.num_vertices());
+  report.SetMeta("num_edges", graph.num_edges());
+  report.SetMeta("solution_size", solution.size);
+  report.SetMeta("wall_seconds", wall_seconds);
+  report.Capture();
+  return report;
+}
+
 int Main(int argc, char** argv) {
   const Result<CliOptions> options = ParseArgs(argc, argv);
   if (!options.ok()) {
@@ -146,7 +193,13 @@ int Main(int argc, char** argv) {
   std::cerr << "loaded " << graph.value().ToString() << ", solving k="
             << options.value().k << " via " << options.value().algorithm
             << "\n";
+  // Start metric collection from a clean slate so the report describes this
+  // solve only, not process history.
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
+  Stopwatch watch;
   const Result<MkpSolution> solution = Solve(options.value(), graph.value());
+  const double wall_seconds = watch.ElapsedSeconds();
   if (!solution.ok()) {
     std::cerr << "solver failed: " << solution.status() << "\n";
     return 1;
@@ -156,6 +209,26 @@ int Main(int argc, char** argv) {
     std::cout << " " << v;
   }
   std::cout << "\n";
+
+  if (!options.value().metrics_json.empty() || options.value().verbose_trace) {
+    const obs::RunReport report = BuildReport(
+        options.value(), graph.value(), solution.value(), wall_seconds);
+    if (options.value().verbose_trace) {
+      std::cerr << report.ToPrettyString();
+    }
+    if (!options.value().metrics_json.empty()) {
+      const Status written =
+          report.WriteJsonFile(options.value().metrics_json);
+      if (!written.ok()) {
+        std::cerr << "failed to write metrics report: " << written << "\n";
+        return 1;
+      }
+      if (options.value().metrics_json != "-") {
+        std::cerr << "metrics report written to "
+                  << options.value().metrics_json << "\n";
+      }
+    }
+  }
   return 0;
 }
 

@@ -1,0 +1,59 @@
+# Script-mode driver behind the bench_baseline / bench_check targets.
+#
+#   cmake -DMODE=capture -DBENCH_BINARIES=<bin|bin|...> -DOUT_DIR=<dir> \
+#         -P bench_gate.cmake
+#   cmake -DMODE=check   -DBENCH_BINARIES=<bin|bin|...> -DOUT_DIR=<dir> \
+#         -DBASELINE_DIR=<dir> -DBENCHDIFF=<qplex_benchdiff> \
+#         -DDIFF_OUT=<file> -P bench_gate.cmake
+#
+# capture: runs every bench binary with QPLEX_BENCH_REPORT_DIR=OUT_DIR so the
+# BENCH_*.json reports land there (this is how bench/baselines/ is refreshed).
+# check: captures fresh reports into OUT_DIR, then benchdiffs them against
+# BASELINE_DIR; the diff is echoed, written to DIFF_OUT, and a regression is
+# a FATAL_ERROR (deterministic count drift fails; timing drift only warns —
+# see the rule table in tools/qplex_benchdiff.cc).
+
+if(NOT DEFINED MODE OR NOT DEFINED BENCH_BINARIES OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "bench_gate.cmake needs -DMODE=, -DBENCH_BINARIES=, -DOUT_DIR=")
+endif()
+
+string(REPLACE "|" ";" _binaries "${BENCH_BINARIES}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(_binary IN LISTS _binaries)
+  get_filename_component(_name "${_binary}" NAME)
+  message(STATUS "bench_gate: running ${_name}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env QPLEX_BENCH_REPORT_DIR=${OUT_DIR} ${_binary}
+    RESULT_VARIABLE _exit
+    OUTPUT_QUIET)
+  if(NOT _exit EQUAL 0)
+    message(FATAL_ERROR "bench_gate: ${_name} exited with ${_exit}")
+  endif()
+endforeach()
+
+if(MODE STREQUAL "capture")
+  message(STATUS "bench_gate: baselines captured into ${OUT_DIR}")
+  return()
+endif()
+
+if(NOT MODE STREQUAL "check")
+  message(FATAL_ERROR "bench_gate: unknown MODE '${MODE}'")
+endif()
+if(NOT DEFINED BASELINE_DIR OR NOT DEFINED BENCHDIFF)
+  message(FATAL_ERROR "bench_gate: check mode needs -DBASELINE_DIR= and -DBENCHDIFF=")
+endif()
+
+execute_process(
+  COMMAND ${BENCHDIFF} --baseline ${BASELINE_DIR} --candidate ${OUT_DIR}
+  RESULT_VARIABLE _diff_exit
+  OUTPUT_VARIABLE _diff_out
+  ERROR_VARIABLE _diff_err)
+message(STATUS "bench_gate: benchdiff output:\n${_diff_out}${_diff_err}")
+if(DEFINED DIFF_OUT)
+  file(WRITE "${DIFF_OUT}" "${_diff_out}")
+endif()
+if(NOT _diff_exit EQUAL 0)
+  message(FATAL_ERROR "bench_gate: perf regression detected (benchdiff exit ${_diff_exit})")
+endif()
+message(STATUS "bench_gate: no regressions against ${BASELINE_DIR}")

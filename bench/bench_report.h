@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -38,6 +39,13 @@ inline void EmitBenchReport(const obs::RunReport& report) {
   const char* dir_env = std::getenv("QPLEX_BENCH_REPORT_DIR");
   const std::string dir = dir_env != nullptr ? dir_env : ".";
   if (dir.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "bench report not written: cannot create directory " << dir
+              << ": " << ec.message() << "\n";
     return;
   }
   const std::string path =

@@ -6,7 +6,8 @@ namespace qplex {
 namespace anneal_internal {
 
 void RecordSample(const QuboModel& model, const QuboSample& sample,
-                  double budget_micros, AnnealResult* result) {
+                  double budget_micros, AnnealResult* result,
+                  obs::ProgressHeartbeat* heartbeat) {
   const double energy = model.Evaluate(sample);
   if (result->best_sample.empty() || energy < result->best_energy) {
     result->best_energy = energy;
@@ -17,6 +18,12 @@ void RecordSample(const QuboModel& model, const QuboSample& sample,
   registry.GetCounter("anneal.samples").Increment();
   registry.GetSeries("anneal.best_energy_trajectory")
       .Append(result->best_energy);
+  if (heartbeat != nullptr && heartbeat->Due()) {
+    heartbeat->Emit({{"best_energy", result->best_energy},
+                     {"shots", result->shots},
+                     {"sweeps", result->sweeps},
+                     {"modeled_micros", result->modeled_micros}});
+  }
 }
 
 QuboSample RandomSample(int num_variables, Rng& rng) {

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/events.h"
 #include "qubo/qubo_model.h"
 
 namespace qplex {
@@ -37,9 +38,12 @@ struct AnnealResult {
 namespace anneal_internal {
 
 /// Updates `result` with a candidate sample; appends a trace point at
-/// `budget_micros`.
+/// `budget_micros`. When `heartbeat` is non-null and due, also emits a
+/// progress event (best energy, shots, modeled budget) into the global
+/// event stream — the live view of the anytime cost curve.
 void RecordSample(const QuboModel& model, const QuboSample& sample,
-                  double budget_micros, AnnealResult* result);
+                  double budget_micros, AnnealResult* result,
+                  obs::ProgressHeartbeat* heartbeat = nullptr);
 
 /// A deterministic random initial sample.
 QuboSample RandomSample(int num_variables, Rng& rng);

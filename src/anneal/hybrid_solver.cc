@@ -5,6 +5,7 @@
 
 #include "anneal/simulated_annealer.h"
 #include "common/stopwatch.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -38,6 +39,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
     return Status::InvalidArgument("bad hybrid solver options");
   }
   obs::TraceSpan span("anneal.hybrid");
+  obs::ProgressHeartbeat heartbeat("anneal.hybrid");
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
@@ -67,7 +69,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
         restart.modeled_micros + flips * options_.micros_per_sweep;
     ++result.shots;
     anneal_internal::RecordSample(model, polished, result.modeled_micros,
-                                  &result);
+                                  &result, &heartbeat);
 
     // Basin hopping around the incumbent: perturb a few bits of the best
     // sample and re-polish. This is the "classical supercomputing" half of
@@ -86,7 +88,8 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
     ++basin_hops;
     result.sweeps += hop_flips;
     result.modeled_micros += hop_flips * options_.micros_per_sweep;
-    anneal_internal::RecordSample(model, hop, result.modeled_micros, &result);
+    anneal_internal::RecordSample(model, hop, result.modeled_micros, &result,
+                                  &heartbeat);
   }
   // The service returns no earlier than its runtime floor.
   result.modeled_micros =

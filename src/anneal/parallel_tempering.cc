@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,6 +22,7 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
   }
 
   obs::TraceSpan span("anneal.pt");
+  obs::ProgressHeartbeat heartbeat("anneal.pt");
   const int n = model.num_variables();
   const int R = options_.num_replicas;
   Stopwatch watch;
@@ -77,7 +79,7 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
         options_.micros_per_sweep * options_.sweeps_per_round * R;
     // Record the coldest replica (and implicitly the global best).
     anneal_internal::RecordSample(model, replicas[R - 1],
-                                  result.modeled_micros, &result);
+                                  result.modeled_micros, &result, &heartbeat);
   }
   result.shots = options_.rounds;
   result.wall_seconds = watch.ElapsedSeconds();

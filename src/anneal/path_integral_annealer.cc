@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -44,6 +45,7 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
   }
 
   obs::TraceSpan span("anneal.sqa");
+  obs::ProgressHeartbeat heartbeat("anneal.sqa");
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
@@ -119,7 +121,7 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
       }
     }
     anneal_internal::RecordSample(model, best_shot_sample,
-                                  result.modeled_micros, &result);
+                                  result.modeled_micros, &result, &heartbeat);
   }
   result.wall_seconds = watch.ElapsedSeconds();
   auto& registry = obs::MetricsRegistry::Global();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +18,7 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
     return Status::InvalidArgument("need 0 < beta_initial <= beta_final");
   }
   obs::TraceSpan span("anneal.sa");
+  obs::ProgressHeartbeat heartbeat("anneal.sa");
   const int n = model.num_variables();
   Stopwatch watch;
   AnnealResult result;
@@ -53,7 +55,7 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
     result.modeled_micros +=
         options_.micros_per_sweep * options_.sweeps_per_shot;
     anneal_internal::RecordSample(model, sample, result.modeled_micros,
-                                  &result);
+                                  &result, &heartbeat);
   }
   result.wall_seconds = watch.ElapsedSeconds();
   auto& registry = obs::MetricsRegistry::Global();

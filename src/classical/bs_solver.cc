@@ -5,6 +5,7 @@
 
 #include "classical/reduce.h"
 #include "graph/kplex.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -75,6 +76,7 @@ struct BsSolver::SearchContext {
   Deadline deadline = Deadline::Infinite();
   bool aborted = false;
   const BsSolverOptions* options = nullptr;
+  obs::ProgressHeartbeat heartbeat{"bs"};
   /// Maps reduced-graph ids back to the caller's ids before invoking the
   /// user's on_incumbent callback.
   std::function<void(const MkpSolution&)> report_incumbent;
@@ -86,9 +88,17 @@ void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
     return;
   }
   ++stats_.branch_nodes;
-  if ((stats_.branch_nodes & 0x3FF) == 0 && ctx.deadline.Expired()) {
-    ctx.aborted = true;
-    return;
+  if ((stats_.branch_nodes & 0x3FF) == 0) {
+    if (ctx.deadline.Expired()) {
+      ctx.aborted = true;
+      return;
+    }
+    if (ctx.heartbeat.Due()) {
+      ctx.heartbeat.Emit({{"branch_nodes", stats_.branch_nodes},
+                          {"best_size", ctx.best.size},
+                          {"prunes_bound", stats_.prunes_bound},
+                          {"prunes_infeasible", stats_.prunes_infeasible}});
+    }
   }
 
   const int size = std::popcount(chosen);

@@ -68,6 +68,12 @@ void GroverSimulation::Run(int count) {
   QPLEX_CHECK(count >= 0) << "negative iteration count";
   for (int i = 0; i < count; ++i) {
     Step();
+    // Due() is an atomic load when no event stream is installed; one Grover
+    // step is a full state-vector pass, so the poll is free by comparison.
+    if (heartbeat_.Due()) {
+      heartbeat_.Emit({{"iterations", steps_},
+                       {"success_probability", SuccessProbability()}});
+    }
   }
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("grover.iterations").Add(count);

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/events.h"
 #include "quantum/statevector.h"
 
 namespace qplex {
@@ -66,6 +67,9 @@ class GroverSimulation {
   std::vector<std::uint64_t> marked_;
   std::vector<bool> is_marked_;
   int steps_ = 0;
+  /// Live progress for long iteration runs; throttle state spans Reset()s so
+  /// repeated attempts on one simulation share one heartbeat cadence.
+  obs::ProgressHeartbeat heartbeat_{"grover"};
 };
 
 }  // namespace qplex

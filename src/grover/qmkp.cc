@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -92,6 +93,19 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
     }
     result.probes.push_back(probe);
     best_size_trajectory.Append(result.best_size);
+    // Probes are O(log n) per run, so every one is worth a line: this is the
+    // live view of the paper's progressive-search claim.
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(
+          obs::EventLevel::kInfo, "qmkp", "probe",
+          {{"threshold", probe.threshold},
+           {"feasible", probe.feasible},
+           {"found_size", probe.found_size},
+           {"best_size", result.best_size},
+           {"total_oracle_calls", result.total_oracle_calls},
+           {"total_gate_cost", result.total_gate_cost},
+           {"elapsed_ms", watch.ElapsedMillis()}});
+    }
     if (on_progress) {
       on_progress(probe, result);
     }

@@ -1,0 +1,123 @@
+#include "obs/events.h"
+
+#include <fstream>
+#include <iostream>
+
+namespace qplex::obs {
+namespace {
+
+std::atomic<EventSink*> g_global_sink{nullptr};
+
+}  // namespace
+
+std::string_view EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+  }
+  return "info";
+}
+
+EventSink::EventSink(std::ostream* stream, std::unique_ptr<std::ostream> owned,
+                     int progress_interval_ms)
+    : stream_(stream),
+      owned_(std::move(owned)),
+      progress_interval_ms_(progress_interval_ms) {}
+
+EventSink::~EventSink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_->flush();
+}
+
+Result<std::unique_ptr<EventSink>> EventSink::Open(const std::string& path,
+                                                   int progress_interval_ms) {
+  if (progress_interval_ms < 1) {
+    return Status::InvalidArgument("progress interval must be >= 1 ms, got " +
+                                   std::to_string(progress_interval_ms));
+  }
+  if (path == "-") {
+    return std::unique_ptr<EventSink>(
+        new EventSink(&std::cout, nullptr, progress_interval_ms));
+  }
+  auto file = std::make_unique<std::ofstream>(path,
+                                              std::ios::out | std::ios::trunc);
+  if (!*file) {
+    return Status::InvalidArgument("cannot open event stream for writing: " +
+                                   path);
+  }
+  std::ostream* stream = file.get();
+  return std::unique_ptr<EventSink>(
+      new EventSink(stream, std::move(file), progress_interval_ms));
+}
+
+void EventSink::EmitLocked(
+    EventLevel level, std::string_view solver, std::string_view event,
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+  JsonValue line = JsonValue::Object();
+  line.Set("ts_ms", since_open_.ElapsedMillis());
+  line.Set("level", std::string(EventLevelName(level)));
+  line.Set("solver", std::string(solver));
+  line.Set("event", std::string(event));
+  for (const auto& [key, value] : fields) {
+    line.Set(std::string(key), value);
+  }
+  *stream_ << line.Dump() << "\n";
+  stream_->flush();
+  lines_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventSink::Emit(
+    EventLevel level, std::string_view solver, std::string_view event,
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EmitLocked(level, solver, event, fields);
+}
+
+bool EventSink::ProgressDue(std::string_view solver,
+                            std::string_view event) const {
+  const double now_ms = since_open_.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = std::string(solver) + "/" + std::string(event);
+  const auto it = progress_last_ms_.find(key);
+  return it == progress_last_ms_.end() ||
+         now_ms - it->second >= progress_interval_ms_;
+}
+
+bool EventSink::EmitProgress(
+    std::string_view solver, std::string_view event,
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+  const double now_ms = since_open_.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = std::string(solver) + "/" + std::string(event);
+  const auto it = progress_last_ms_.find(key);
+  if (it != progress_last_ms_.end() &&
+      now_ms - it->second < progress_interval_ms_) {
+    return false;
+  }
+  progress_last_ms_[std::move(key)] = now_ms;
+  EmitLocked(EventLevel::kInfo, solver, event, fields);
+  return true;
+}
+
+EventSink* EventSink::Global() {
+  return g_global_sink.load(std::memory_order_acquire);
+}
+
+void EventSink::InstallGlobal(EventSink* sink) {
+  g_global_sink.store(sink, std::memory_order_release);
+}
+
+void EmitEvent(
+    EventLevel level, std::string_view solver, std::string_view event,
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+  EventSink* sink = EventSink::Global();
+  if (sink != nullptr) {
+    sink->Emit(level, solver, event, fields);
+  }
+}
+
+}  // namespace qplex::obs

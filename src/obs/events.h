@@ -1,0 +1,152 @@
+#ifndef QPLEX_OBS_EVENTS_H_
+#define QPLEX_OBS_EVENTS_H_
+
+#include <atomic>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/json.h"
+
+namespace qplex::obs {
+
+/// Severity of a structured event line.
+enum class EventLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo,
+  kWarn,
+};
+
+/// Stable lowercase name ("debug", "info", "warn").
+std::string_view EventLevelName(EventLevel level);
+
+/// A structured JSONL event stream: one compact JSON object per line, written
+/// as events happen (flushed per line so `tail -f` and crash post-mortems see
+/// every emitted event). Line schema:
+///
+///   {"ts_ms": <ms since sink open>, "level": "info", "solver": "qmkp",
+///    "event": "probe", ...caller key/values in order...}
+///
+/// The sink is the live counterpart of RunReport: reports summarise a finished
+/// run, the event stream narrates it while it is still going. Emission is
+/// mutex-serialised (events happen at probe/heartbeat granularity, never in
+/// inner loops), and every field value rides the obs/json writer, so lines are
+/// parseable by `JsonValue::Parse` and by any JSONL tooling.
+class EventSink {
+ public:
+  static constexpr int kDefaultProgressIntervalMs = 250;
+
+  /// Opens a sink writing to `path` ("-" means stdout). `progress_interval_ms`
+  /// is the minimum spacing between ProgressHeartbeat emissions per site and
+  /// must be >= 1.
+  static Result<std::unique_ptr<EventSink>> Open(
+      const std::string& path,
+      int progress_interval_ms = kDefaultProgressIntervalMs);
+
+  ~EventSink();
+
+  EventSink(const EventSink&) = delete;
+  EventSink& operator=(const EventSink&) = delete;
+
+  /// Writes one event line. `fields` are appended to the envelope in order.
+  void Emit(EventLevel level, std::string_view solver, std::string_view event,
+            std::initializer_list<std::pair<std::string_view, JsonValue>>
+                fields);
+
+  /// True when a progress event keyed `solver/event` is currently due: the
+  /// key has never emitted, or at least progress_interval_ms elapsed since
+  /// it last did. Throttle state lives here (not in call sites) so many
+  /// short-lived solver objects under one run share one cadence.
+  bool ProgressDue(std::string_view solver, std::string_view event) const;
+
+  /// Emits a progress line iff due, atomically updating the key's last-emit
+  /// time. Returns whether a line was written.
+  bool EmitProgress(std::string_view solver, std::string_view event,
+                    std::initializer_list<std::pair<std::string_view,
+                                                    JsonValue>> fields);
+
+  int progress_interval_ms() const { return progress_interval_ms_; }
+  std::int64_t lines_written() const {
+    return lines_written_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide sink instrumentation sites emit into, or nullptr when
+  /// no event stream was requested. Install/uninstall is the CLI's job; the
+  /// installed sink must outlive every emitting solver call.
+  static EventSink* Global();
+  static void InstallGlobal(EventSink* sink);
+
+ private:
+  EventSink(std::ostream* stream, std::unique_ptr<std::ostream> owned,
+            int progress_interval_ms);
+
+  void EmitLocked(EventLevel level, std::string_view solver,
+                  std::string_view event,
+                  std::initializer_list<std::pair<std::string_view,
+                                                  JsonValue>> fields);
+
+  std::ostream* stream_;                   // where lines go (never null)
+  std::unique_ptr<std::ostream> owned_;    // owns file streams; null for stdout
+  int progress_interval_ms_;
+  mutable std::mutex mutex_;
+  Stopwatch since_open_;
+  /// Last ProgressDue-emit time per "solver/event" key, in ms since open.
+  std::map<std::string, double, std::less<>> progress_last_ms_;
+  std::atomic<std::int64_t> lines_written_{0};
+};
+
+/// True when a global sink is installed — the cheap gate for callers that
+/// would otherwise compute event fields for nothing.
+inline bool EventsEnabled() { return EventSink::Global() != nullptr; }
+
+/// Emits an event into the global sink; no-op when none is installed.
+void EmitEvent(EventLevel level, std::string_view solver,
+               std::string_view event,
+               std::initializer_list<std::pair<std::string_view, JsonValue>>
+                   fields);
+
+/// Rate-limited progress reporter for long-running loops. `Due()` is cheap
+/// enough to poll every loop iteration: an atomic load when no sink is
+/// installed, one mutex-protected map probe when one is (and polls happen at
+/// sweep/probe/1024-node granularity, never per inner-loop step). The very
+/// first heartbeat for a given solver/event key is always due, so even a run
+/// far shorter than the interval emits at least one progress line; after
+/// that the sink enforces the interval across every object sharing the key.
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(std::string_view solver,
+                             std::string_view event = "progress")
+      : solver_(solver), event_(event) {}
+
+  /// True when a heartbeat should be emitted now. Callers compute the fields
+  /// only after a true return.
+  bool Due() const {
+    const EventSink* sink = EventSink::Global();
+    return sink != nullptr && sink->ProgressDue(solver_, event_);
+  }
+
+  /// Emits a progress event (the sink re-checks dueness atomically, so a
+  /// stale Due() answer degrades to a dropped line, never a flood).
+  void Emit(std::initializer_list<std::pair<std::string_view, JsonValue>>
+                fields) {
+    EventSink* sink = EventSink::Global();
+    if (sink != nullptr) {
+      sink->EmitProgress(solver_, event_, fields);
+    }
+  }
+
+ private:
+  std::string solver_;
+  std::string event_;
+};
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_EVENTS_H_

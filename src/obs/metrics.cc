@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace qplex::obs {
@@ -38,6 +39,40 @@ void Gauge::Reset() {
   value_.store(0, kRelaxed);
   max_.store(0, kRelaxed);
   has_value_.store(false, kRelaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) {
+    return 0;
+  }
+  if (p < 0) {
+    p = 0;
+  }
+  if (p > 1) {
+    p = 1;
+  }
+  const double target = p * static_cast<double>(count);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto& [lower, bucket_count] = buckets[i];
+    const bool last = i + 1 == buckets.size();
+    if (cumulative + static_cast<double>(bucket_count) >= target || last) {
+      double fraction =
+          bucket_count > 0
+              ? (target - cumulative) / static_cast<double>(bucket_count)
+              : 0;
+      if (fraction < 0) {
+        fraction = 0;
+      }
+      if (fraction > 1) {
+        fraction = 1;
+      }
+      const double estimate = lower + fraction * lower;  // upper bound = 2x
+      return std::min(std::max(estimate, min), max);
+    }
+    cumulative += static_cast<double>(bucket_count);
+  }
+  return max;
 }
 
 int Histogram::BucketIndex(double value) {

@@ -54,6 +54,15 @@ struct HistogramSnapshot {
   std::vector<std::pair<double, std::int64_t>> buckets;
 
   double Mean() const { return count > 0 ? sum / count : 0; }
+
+  /// Estimated value at quantile `p` in [0, 1], linearly interpolated inside
+  /// the covering log bucket and clamped to [min, max]. Accurate to the ~2x
+  /// bucket resolution — good enough to compare distribution tails between
+  /// runs (benchdiff), not a substitute for exact order statistics.
+  double Percentile(double p) const;
+  double P50() const { return Percentile(0.50); }
+  double P90() const { return Percentile(0.90); }
+  double P99() const { return Percentile(0.99); }
 };
 
 /// Lock-free log-scale histogram: values are bucketed by binary exponent

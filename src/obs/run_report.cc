@@ -73,6 +73,9 @@ JsonValue RunReport::ToJson() const {
     histogram.Set("min", snapshot.min);
     histogram.Set("max", snapshot.max);
     histogram.Set("mean", snapshot.Mean());
+    histogram.Set("p50", snapshot.P50());
+    histogram.Set("p90", snapshot.P90());
+    histogram.Set("p99", snapshot.P99());
     JsonValue buckets = JsonValue::Array();
     for (const auto& [lower_bound, count] : snapshot.buckets) {
       JsonValue bucket = JsonValue::Array();
@@ -132,10 +135,14 @@ std::string RunReport::ToPrettyString() const {
   }
 
   if (!metrics_.histograms.empty()) {
-    AsciiTable histogram_table({"histogram", "count", "mean", "min", "max"});
+    AsciiTable histogram_table(
+        {"histogram", "count", "mean", "p50", "p90", "p99", "min", "max"});
     for (const auto& [name, snapshot] : metrics_.histograms) {
       histogram_table.AddRow({name, std::to_string(snapshot.count),
                               FormatDouble(snapshot.Mean(), 4),
+                              FormatDouble(snapshot.P50(), 4),
+                              FormatDouble(snapshot.P90(), 4),
+                              FormatDouble(snapshot.P99(), 4),
                               FormatDouble(snapshot.min, 4),
                               FormatDouble(snapshot.max, 4)});
     }

@@ -24,6 +24,7 @@ namespace qplex::obs {
 ///     "counters":   { "<metric>": <int>, ... },
 ///     "gauges":     { "<metric>": <double>, ... },
 ///     "histograms": { "<metric>": {"count","sum","min","max","mean",
+///                                  "p50","p90","p99",
 ///                                  "buckets": [[lower_bound, count], ...]} },
 ///     "series":     { "<metric>": [<double>, ...], ... },
 ///     "trace":      { "name","count","total_seconds","children":[...] }

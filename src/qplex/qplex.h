@@ -53,6 +53,7 @@
 #include "grover/qmkp.h"
 #include "grover/qtkp.h"
 #include "milp/milp_solver.h"
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"

@@ -1,7 +1,9 @@
 // End-to-end smoke test of the qplex_cli binary: the --metrics-json report
-// must be parseable JSON carrying solver counters and the trace tree, and
-// malformed numeric flags must be rejected without crashing. The binary path
-// is injected by CMake as QPLEX_CLI_PATH.
+// must be parseable JSON carrying solver counters and the trace tree, the
+// --events stream must be parseable JSONL with at least one progress
+// heartbeat, and malformed numeric flags must be rejected without crashing.
+// Also covers qplex_benchdiff over fixture reports. The binary paths are
+// injected by CMake as QPLEX_CLI_PATH / QPLEX_BENCHDIFF_PATH.
 
 #include <gtest/gtest.h>
 
@@ -32,18 +34,26 @@ std::filesystem::path WriteExampleGraph() {
   return path;
 }
 
-/// Runs the CLI with `args`; returns its exit code (-1 if it did not exit
-/// normally). Output is redirected into `stdout_path` when non-empty.
-int RunCli(const std::string& args, const std::string& stdout_path = "") {
-  std::string command = std::string(QPLEX_CLI_PATH) + " " + args;
+/// Runs `binary args`; returns its exit code (-1 if it did not exit
+/// normally). Streams are redirected into `stdout_path` / `stderr_path` when
+/// non-empty, discarded otherwise.
+int RunBinary(const std::string& binary, const std::string& args,
+              const std::string& stdout_path = "",
+              const std::string& stderr_path = "") {
+  std::string command = binary + " " + args;
   command += stdout_path.empty() ? " >/dev/null" : " >" + stdout_path;
-  command += " 2>/dev/null";
+  command += stderr_path.empty() ? " 2>/dev/null" : " 2>" + stderr_path;
   const int raw = std::system(command.c_str());
 #ifdef WIFEXITED
   return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
 #else
   return raw;
 #endif
+}
+
+int RunCli(const std::string& args, const std::string& stdout_path = "",
+           const std::string& stderr_path = "") {
+  return RunBinary(QPLEX_CLI_PATH, args, stdout_path, stderr_path);
 }
 
 std::string ReadFile(const std::filesystem::path& path) {
@@ -129,6 +139,116 @@ TEST(CliSmokeTest, SolvesWithoutMetricsFlagUnchanged) {
   ASSERT_EQ(exit_code, 0);
   const std::string text = ReadFile(out);
   EXPECT_NE(text.find("size 4"), std::string::npos);
+}
+
+TEST(CliSmokeTest, EventsToStdoutEmitsParseableHeartbeats) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path out = TempDir() / "events.out";
+  const int exit_code =
+      RunCli("--input " + graph.string() +
+                 " --format edgelist --algorithm qamkp --k 2 --events -",
+             out.string());
+  ASSERT_EQ(exit_code, 0);
+
+  // The stream shares stdout with the solution lines; JSONL lines are the
+  // ones that start with '{'.
+  std::istringstream lines(ReadFile(out));
+  std::string line;
+  int event_lines = 0;
+  int progress_lines = 0;
+  bool saw_run_start = false;
+  bool saw_run_end = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') {
+      continue;
+    }
+    const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " line: " << line;
+    const obs::JsonValue& event = parsed.value();
+    ASSERT_NE(event.Find("ts_ms"), nullptr);
+    ASSERT_NE(event.Find("level"), nullptr);
+    ASSERT_NE(event.Find("solver"), nullptr);
+    ASSERT_NE(event.Find("event"), nullptr);
+    ++event_lines;
+    const std::string& name = event.Find("event")->AsString();
+    if (name == "progress") {
+      ++progress_lines;
+    }
+    saw_run_start = saw_run_start || name == "run_start";
+    saw_run_end = saw_run_end || name == "run_end";
+  }
+  EXPECT_GE(event_lines, 3);
+  // The first heartbeat per solver site is always due, so even this
+  // millisecond-scale solve emits at least one progress line.
+  EXPECT_GE(progress_lines, 1);
+  EXPECT_TRUE(saw_run_start);
+  EXPECT_TRUE(saw_run_end);
+}
+
+TEST(CliSmokeTest, RejectsBadProgressInterval) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::string base = "--input " + graph.string() + " --format edgelist";
+  EXPECT_EQ(RunCli(base + " --events - --progress-interval-ms 0"), 2);
+  EXPECT_EQ(RunCli(base + " --events - --progress-interval-ms -5"), 2);
+  EXPECT_EQ(RunCli(base + " --events - --progress-interval-ms junk"), 2);
+}
+
+TEST(CliSmokeTest, UnwritableMetricsPathStillPrintsSolution) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path out = TempDir() / "unwritable.out";
+  const std::filesystem::path err = TempDir() / "unwritable.err";
+  const std::string bad_report = "/nonexistent_qplex_dir/report.json";
+  const int exit_code =
+      RunCli("--input " + graph.string() +
+                 " --format edgelist --algorithm bs --k 2 --metrics-json " +
+                 bad_report,
+             out.string(), err.string());
+  // Reporting failure flips the exit code but never eats the solver result,
+  // and the error names the offending path.
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(ReadFile(out).find("size 4"), std::string::npos);
+  EXPECT_NE(ReadFile(err).find(bad_report), std::string::npos);
+}
+
+/// Writes a minimal run-report JSON fixture with one counter value.
+std::filesystem::path WriteFixtureReport(const std::string& name,
+                                         int oracle_calls) {
+  const std::filesystem::path path = TempDir() / name;
+  std::ofstream out(path);
+  out << "{\"report\": \"fixture\", \"schema_version\": 1, "
+         "\"counters\": {\"oracle.calls\": "
+      << oracle_calls << ", \"grover.iterations\": 7}}";
+  return path;
+}
+
+TEST(CliSmokeTest, BenchdiffPassesOnIdenticalReports) {
+  const std::filesystem::path baseline =
+      WriteFixtureReport("diff_base.json", 10);
+  const std::filesystem::path candidate =
+      WriteFixtureReport("diff_same.json", 10);
+  const std::filesystem::path out = TempDir() / "diff_clean.out";
+  const int exit_code = RunBinary(
+      QPLEX_BENCHDIFF_PATH,
+      "--baseline " + baseline.string() + " --candidate " + candidate.string(),
+      out.string());
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(ReadFile(out).find("0 failed"), std::string::npos);
+}
+
+TEST(CliSmokeTest, BenchdiffFailsOnCountRegression) {
+  const std::filesystem::path baseline =
+      WriteFixtureReport("diff_base2.json", 10);
+  const std::filesystem::path candidate =
+      WriteFixtureReport("diff_regressed.json", 12);
+  const std::filesystem::path out = TempDir() / "diff_regressed.out";
+  const int exit_code = RunBinary(
+      QPLEX_BENCHDIFF_PATH,
+      "--baseline " + baseline.string() + " --candidate " + candidate.string(),
+      out.string());
+  EXPECT_EQ(exit_code, 1);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("oracle.calls"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
 }
 
 }  // namespace

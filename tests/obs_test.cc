@@ -6,10 +6,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -85,6 +90,42 @@ TEST(HistogramTest, SnapshotListsOnlyNonEmptyBuckets) {
   EXPECT_EQ(snapshot.buckets[1].second, 1);
   EXPECT_DOUBLE_EQ(snapshot.buckets[0].first, 1.0);
   EXPECT_DOUBLE_EQ(snapshot.buckets[1].first, 1024.0);
+}
+
+TEST(HistogramTest, PercentilesOfEmptyHistogramAreZero) {
+  const HistogramSnapshot snapshot = Histogram().Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.P50(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.P90(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.P99(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesOfSingleValueAreThatValue) {
+  Histogram histogram;
+  histogram.Record(42.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.P50(), 42.0);
+  EXPECT_DOUBLE_EQ(snapshot.P90(), 42.0);
+  EXPECT_DOUBLE_EQ(snapshot.P99(), 42.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndBracketedByMinMax) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  const double p50 = snapshot.P50();
+  const double p90 = snapshot.P90();
+  const double p99 = snapshot.P99();
+  EXPECT_LE(snapshot.min, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, snapshot.max);
+  // Log-bucket interpolation is coarse (one binary octave per bucket), so
+  // only sanity-bound the estimates: within a factor of two of the truth.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p99, 495.0);
 }
 
 // --- Series ------------------------------------------------------------------
@@ -318,6 +359,167 @@ TEST(JsonTest, ObjectPreservesInsertionOrder) {
   EXPECT_EQ(object.members()[2].first, "m");
 }
 
+TEST(JsonTest, Int64LimitsRoundTripExactly) {
+  JsonValue object = JsonValue::Object();
+  object.Set("min", std::numeric_limits<std::int64_t>::min());
+  object.Set("max", std::numeric_limits<std::int64_t>::max());
+  const Result<JsonValue> parsed = JsonValue::Parse(object.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value().Find("min")->is_int());
+  EXPECT_TRUE(parsed.value().Find("max")->is_int());
+  EXPECT_EQ(parsed.value().Find("min")->AsInt(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parsed.value().Find("max")->AsInt(),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(JsonTest, EscapeSequencesParse) {
+  const Result<JsonValue> parsed =
+      JsonValue::Parse("\"a\\\"b\\\\c\\/d\\b\\f\\n\\r\\t\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_FALSE(JsonValue::Parse("\"\\x41\"").ok());  // unknown escape
+  EXPECT_FALSE(JsonValue::Parse("\"dangling\\").ok());
+}
+
+TEST(JsonTest, DeepNestingRoundTripsBelowTheDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += "[";
+  }
+  deep += "1";
+  for (int i = 0; i < 200; ++i) {
+    deep += "]";
+  }
+  const Result<JsonValue> parsed = JsonValue::Parse(deep);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* cursor = &parsed.value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(cursor->size(), 1u);
+    cursor = &cursor->at(0);
+  }
+  EXPECT_EQ(cursor->AsInt(), 1);
+}
+
+TEST(JsonTest, RejectsNestingPastTheDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) {
+    deep += "[";
+  }
+  deep += "1";
+  for (int i = 0; i < 400; ++i) {
+    deep += "]";
+  }
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, RejectsTrailingGarbageAfterAnyDocumentKind) {
+  EXPECT_FALSE(JsonValue::Parse("42 7").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,2]]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1}{\"b\":2}").ok());
+  EXPECT_FALSE(JsonValue::Parse("true false").ok());
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(JsonValue::Parse("{\"a\": 1}  \n\t ").ok());
+}
+
+// --- Events ------------------------------------------------------------------
+
+std::filesystem::path EventsTempPath(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qplex_obs_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+std::vector<JsonValue> ReadJsonlFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    Result<JsonValue> parsed = JsonValue::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << " line: " << line;
+    if (parsed.ok()) {
+      lines.push_back(std::move(parsed).value());
+    }
+  }
+  return lines;
+}
+
+TEST(EventSinkTest, EmitWritesParseableJsonlLines) {
+  const std::filesystem::path path = EventsTempPath("emit.jsonl");
+  Result<std::unique_ptr<EventSink>> sink = EventSink::Open(path.string());
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  sink.value()->Emit(EventLevel::kInfo, "qmkp", "probe",
+                     {{"threshold", 5}, {"feasible", true}});
+  sink.value()->Emit(EventLevel::kWarn, "cli", "run_error",
+                     {{"status", "boom"}});
+  EXPECT_EQ(sink.value()->lines_written(), 2);
+  sink.value().reset();
+
+  const std::vector<JsonValue> lines = ReadJsonlFile(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_GE(lines[0].Find("ts_ms")->AsDouble(), 0.0);
+  EXPECT_EQ(lines[0].Find("level")->AsString(), "info");
+  EXPECT_EQ(lines[0].Find("solver")->AsString(), "qmkp");
+  EXPECT_EQ(lines[0].Find("event")->AsString(), "probe");
+  EXPECT_EQ(lines[0].Find("threshold")->AsInt(), 5);
+  EXPECT_TRUE(lines[0].Find("feasible")->AsBool());
+  EXPECT_EQ(lines[1].Find("level")->AsString(), "warn");
+  EXPECT_EQ(lines[1].Find("status")->AsString(), "boom");
+}
+
+TEST(EventSinkTest, OpenRejectsBadIntervalAndBadPath) {
+  EXPECT_FALSE(EventSink::Open("-", 0).ok());
+  EXPECT_FALSE(EventSink::Open("-", -3).ok());
+  EXPECT_FALSE(EventSink::Open("/nonexistent_qplex_dir/events.jsonl").ok());
+}
+
+TEST(EventSinkTest, ProgressThrottlesPerKeyAcrossObjects) {
+  const std::filesystem::path path = EventsTempPath("throttle.jsonl");
+  // An hour-long interval: only the always-due first emission per key lands.
+  Result<std::unique_ptr<EventSink>> sink =
+      EventSink::Open(path.string(), 3'600'000);
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  EXPECT_TRUE(sink.value()->ProgressDue("anneal.sa", "progress"));
+  EXPECT_TRUE(sink.value()->EmitProgress("anneal.sa", "progress",
+                                         {{"sweeps", 1}}));
+  EXPECT_FALSE(sink.value()->ProgressDue("anneal.sa", "progress"));
+  EXPECT_FALSE(sink.value()->EmitProgress("anneal.sa", "progress",
+                                          {{"sweeps", 2}}));
+  // Distinct keys throttle independently.
+  EXPECT_TRUE(sink.value()->EmitProgress("anneal.pt", "progress",
+                                         {{"sweeps", 3}}));
+  EXPECT_EQ(sink.value()->lines_written(), 2);
+
+  // Heartbeats delegate to the sink, so fresh objects with the same key
+  // share the throttle (the hybrid solver makes many short-lived annealers).
+  EventSink::InstallGlobal(sink.value().get());
+  ProgressHeartbeat first("anneal.sa");
+  ProgressHeartbeat second("anneal.sa");
+  EXPECT_FALSE(first.Due());
+  EXPECT_FALSE(second.Due());
+  second.Emit({{"sweeps", 4}});  // dropped: not due
+  EXPECT_EQ(sink.value()->lines_written(), 2);
+  EventSink::InstallGlobal(nullptr);
+}
+
+TEST(EventSinkTest, GlobalInstallGatesEmitEvent) {
+  EXPECT_FALSE(EventsEnabled());
+  EmitEvent(EventLevel::kInfo, "nobody", "listening", {});  // no-op, no crash
+  ProgressHeartbeat orphan("nobody");
+  EXPECT_FALSE(orphan.Due());
+
+  const std::filesystem::path path = EventsTempPath("global.jsonl");
+  Result<std::unique_ptr<EventSink>> sink = EventSink::Open(path.string());
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  EventSink::InstallGlobal(sink.value().get());
+  EXPECT_TRUE(EventsEnabled());
+  EmitEvent(EventLevel::kInfo, "cli", "run_start", {{"k", 2}});
+  EventSink::InstallGlobal(nullptr);
+  EXPECT_FALSE(EventsEnabled());
+  EXPECT_EQ(sink.value()->lines_written(), 1);
+}
+
 // --- RunReport ---------------------------------------------------------------
 
 TEST(RunReportTest, JsonRoundTripCarriesMetricsAndTrace) {
@@ -351,6 +553,10 @@ TEST(RunReportTest, JsonRoundTripCarriesMetricsAndTrace) {
   ASSERT_NE(histogram, nullptr);
   EXPECT_EQ(histogram->Find("count")->AsInt(), 1);
   EXPECT_DOUBLE_EQ(histogram->Find("mean")->AsDouble(), 100.0);
+  // Percentiles of a one-value histogram clamp to that value.
+  EXPECT_DOUBLE_EQ(histogram->Find("p50")->AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram->Find("p90")->AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram->Find("p99")->AsDouble(), 100.0);
   const JsonValue* series = json.Find("series")->Find("solver.trajectory");
   ASSERT_NE(series, nullptr);
   ASSERT_EQ(series->size(), 2u);

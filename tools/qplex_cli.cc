@@ -4,13 +4,18 @@
 //   qplex_cli --input graph.col [--format dimacs|edgelist] [--k 2]
 //             [--algorithm bs|enum|qmkp|qamkp|milp] [--seed 1]
 //             [--metrics-json <file|->] [--verbose-trace]
+//             [--events <file|->] [--progress-interval-ms N]
 //
 // With --input - the graph is read from stdin. --metrics-json writes a
 // structured run report (counters, histograms, trace tree) after solving;
-// --verbose-trace prints the nested span timings to stderr.
+// --verbose-trace prints the nested span timings to stderr. --events streams
+// structured JSONL events (run lifecycle + rate-limited solver progress
+// heartbeats) while the solve is running; --progress-interval-ms sets the
+// heartbeat spacing (default 250, must be >= 1).
 
 #include <charconv>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -27,13 +32,17 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::string metrics_json;  // empty = no report; "-" = stdout
   bool verbose_trace = false;
+  std::string events;  // empty = no event stream; "-" = stdout
+  int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
 };
 
 void PrintUsage() {
   std::cerr << "usage: qplex_cli --input <file|-> [--format dimacs|edgelist]\n"
                "                 [--k <int>] [--algorithm "
                "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n"
-               "                 [--metrics-json <file|->] [--verbose-trace]\n";
+               "                 [--metrics-json <file|->] [--verbose-trace]\n"
+               "                 [--events <file|->] "
+               "[--progress-interval-ms <int>]\n";
 }
 
 /// Strict whole-string integer parse into `T`; rejects trailing junk,
@@ -77,6 +86,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
     } else if (arg == "--verbose-trace") {
       options.verbose_trace = true;
+    } else if (arg == "--events") {
+      QPLEX_ASSIGN_OR_RETURN(options.events, next());
+    } else if (arg == "--progress-interval-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.progress_interval_ms,
+                             ParseInt<int>(arg, value));
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -88,6 +103,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.k < 1) {
     return Status::InvalidArgument("--k must be >= 1");
+  }
+  if (options.progress_interval_ms < 1) {
+    return Status::InvalidArgument("--progress-interval-ms must be >= 1");
   }
   return options;
 }
@@ -193,17 +211,50 @@ int Main(int argc, char** argv) {
   std::cerr << "loaded " << graph.value().ToString() << ", solving k="
             << options.value().k << " via " << options.value().algorithm
             << "\n";
+
+  // Structured JSONL event stream: opened before the solve so every solver
+  // heartbeat lands in it, uninstalled before exit (RAII keeps the error
+  // paths honest).
+  std::unique_ptr<obs::EventSink> events;
+  if (!options.value().events.empty()) {
+    Result<std::unique_ptr<obs::EventSink>> opened = obs::EventSink::Open(
+        options.value().events, options.value().progress_interval_ms);
+    if (!opened.ok()) {
+      std::cerr << "failed to open event stream " << options.value().events
+                << ": " << opened.status() << "\n";
+      return 1;
+    }
+    events = std::move(opened).value();
+    obs::EventSink::InstallGlobal(events.get());
+  }
+  struct SinkUninstaller {
+    ~SinkUninstaller() { obs::EventSink::InstallGlobal(nullptr); }
+  } uninstaller;
+
   // Start metric collection from a clean slate so the report describes this
   // solve only, not process history.
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
+  obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_start",
+                 {{"input", options.value().input},
+                  {"algorithm", options.value().algorithm},
+                  {"k", options.value().k},
+                  {"seed", static_cast<std::int64_t>(options.value().seed)},
+                  {"num_vertices", graph.value().num_vertices()},
+                  {"num_edges", graph.value().num_edges()}});
   Stopwatch watch;
   const Result<MkpSolution> solution = Solve(options.value(), graph.value());
   const double wall_seconds = watch.ElapsedSeconds();
   if (!solution.ok()) {
+    obs::EmitEvent(obs::EventLevel::kWarn, "cli", "run_error",
+                   {{"status", solution.status().ToString()},
+                    {"wall_seconds", wall_seconds}});
     std::cerr << "solver failed: " << solution.status() << "\n";
     return 1;
   }
+  obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_end",
+                 {{"solution_size", solution.value().size},
+                  {"wall_seconds", wall_seconds}});
   std::cout << "size " << solution.value().size << "\nmembers";
   for (Vertex v : solution.value().members) {
     std::cout << " " << v;
@@ -220,7 +271,11 @@ int Main(int argc, char** argv) {
       const Status written =
           report.WriteJsonFile(options.value().metrics_json);
       if (!written.ok()) {
-        std::cerr << "failed to write metrics report: " << written << "\n";
+        // The solution was already printed above: a reporting failure names
+        // the offending path and flips the exit code, but never eats the
+        // solver result.
+        std::cerr << "failed to write metrics report to "
+                  << options.value().metrics_json << ": " << written << "\n";
         return 1;
       }
       if (options.value().metrics_json != "-") {

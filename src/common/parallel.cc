@@ -1,0 +1,159 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace qplex {
+namespace {
+
+/// Set while a thread is executing pool tasks; nested Run()/ParallelFor calls
+/// from inside a task detect it and degrade to inline execution instead of
+/// re-entering the pool (which would deadlock the single-batch protocol).
+thread_local bool t_inside_pool_task = false;
+
+struct InsideTaskScope {
+  bool previous = t_inside_pool_task;
+  InsideTaskScope() { t_inside_pool_task = true; }
+  ~InsideTaskScope() { t_inside_pool_task = previous; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int count = std::max(0, num_workers);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  worker_wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkOn(Batch& batch) {
+  InsideTaskScope scope;
+  for (;;) {
+    const int index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.num_tasks) {
+      return;
+    }
+    try {
+      (*batch.task)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    batch.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    worker_wake_.wait(lock, [&] {
+      return shutdown_ ||
+             (batch_ != nullptr && generation_ != seen_generation &&
+              batch_->active_workers < batch_->max_workers);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seen_generation = generation_;
+    Batch* batch = batch_;
+    ++batch->active_workers;
+    lock.unlock();
+    WorkOn(*batch);
+    lock.lock();
+    --batch->active_workers;
+    batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& task,
+                     int max_concurrency) {
+  if (num_tasks <= 0) {
+    return;
+  }
+  // Inline paths: nested call, no workers, degenerate batch, or a
+  // concurrency cap that leaves only the caller.
+  if (t_inside_pool_task || workers_.empty() || num_tasks == 1 ||
+      max_concurrency <= 1) {
+    InsideTaskScope scope;
+    for (int i = 0; i < num_tasks; ++i) {
+      task(i);
+    }
+    return;
+  }
+
+  Batch batch;
+  batch.task = &task;
+  batch.num_tasks = num_tasks;
+  batch.max_workers =
+      std::min({max_concurrency - 1, num_workers(), num_tasks - 1});
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One batch at a time; concurrent callers queue here.
+    batch_slot_free_.wait(lock, [&] { return batch_ == nullptr; });
+    batch_ = &batch;
+    ++generation_;
+  }
+  worker_wake_.notify_all();
+  WorkOn(batch);  // the caller participates.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [&] {
+      return batch.completed.load(std::memory_order_acquire) ==
+                 batch.num_tasks &&
+             batch.active_workers == 0;
+    });
+    batch_ = nullptr;
+  }
+  batch_slot_free_.notify_one();
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    const int hardware =
+        static_cast<int>(std::thread::hardware_concurrency());
+    return new ThreadPool(std::max(3, hardware - 1));
+  }();
+  return *pool;
+}
+
+void ParallelFor(
+    int num_threads, std::uint64_t size,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  const std::uint64_t num_chunks = NumParallelChunks(size);
+  if (num_chunks == 0) {
+    return;
+  }
+  auto run_chunk = [&](int chunk) {
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>(chunk) * kParallelChunkSize;
+    const std::uint64_t end = std::min(size, begin + kParallelChunkSize);
+    body(begin, end);
+  };
+  if (num_threads <= 1 || num_chunks == 1) {
+    for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      run_chunk(static_cast<int>(chunk));
+    }
+    return;
+  }
+  ThreadPool::Global().Run(static_cast<int>(num_chunks), run_chunk,
+                           num_threads);
+}
+
+}  // namespace qplex

@@ -1,0 +1,122 @@
+#ifndef QPLEX_COMMON_PARALLEL_H_
+#define QPLEX_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qplex {
+
+/// Deterministic chunk geometry shared by every parallel kernel: an index
+/// range [0, size) is split into fixed-size chunks of kParallelChunkSize
+/// indices (the last chunk ragged). Chunk boundaries depend only on `size`,
+/// never on the thread count, so any reduction that computes one partial per
+/// chunk and combines the partials in chunk order produces bit-identical
+/// results at 1 thread and at N threads.
+inline constexpr std::uint64_t kParallelChunkSize = 2048;
+
+inline std::uint64_t NumParallelChunks(std::uint64_t size) {
+  return (size + kParallelChunkSize - 1) / kParallelChunkSize;
+}
+
+/// Fixed-size pool of worker threads executing batches of indexed tasks.
+/// One batch runs at a time (concurrent callers queue on a mutex); within a
+/// batch, tasks are claimed by an atomic counter, so task-to-thread
+/// assignment is nondeterministic — callers must make task outputs disjoint
+/// or order-insensitive (ParallelFor/ParallelReduce below do exactly that).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (clamped to >= 0). With zero
+  /// workers every Run() executes inline on the caller.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs task(0) .. task(num_tasks - 1) and blocks until all complete. The
+  /// calling thread participates, so at most `max_concurrency` threads
+  /// (caller included) execute tasks. The first exception thrown by any task
+  /// is rethrown on the caller after the batch drains; remaining tasks still
+  /// run. Nested calls from inside a task execute inline on the calling
+  /// thread (no deadlock, no extra parallelism).
+  void Run(int num_tasks, const std::function<void(int)>& task,
+           int max_concurrency = 1 << 30);
+
+  /// Process-wide pool, created on first use with one worker per available
+  /// hardware thread beyond the caller (at least 3, so thread interplay is
+  /// exercised — and caught by TSan — even on small CI machines).
+  static ThreadPool& Global();
+
+ private:
+  struct Batch {
+    const std::function<void(int)>* task = nullptr;
+    int num_tasks = 0;
+    int max_workers = 0;  ///< max *workers* joining (caller not counted).
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    int active_workers = 0;  ///< guarded by the pool mutex.
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks from `batch` until none remain.
+  static void WorkOn(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable worker_wake_;
+  std::condition_variable batch_done_;
+  std::condition_variable batch_slot_free_;
+  Batch* batch_ = nullptr;       ///< current batch, guarded by mutex_.
+  std::uint64_t generation_ = 0;  ///< bumped per batch, guarded by mutex_.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, size) into the fixed deterministic chunks and runs
+/// body(chunk_begin, chunk_end) for each, using up to `num_threads` threads
+/// from the global pool. num_threads <= 1 (or a single chunk, or a nested
+/// call) runs every chunk inline in order. Chunks are disjoint, so bodies may
+/// write freely inside their own range.
+void ParallelFor(int num_threads, std::uint64_t size,
+                 const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+/// Deterministic chunked reduction: computes chunk_fn(chunk_begin, chunk_end)
+/// for every fixed chunk of [0, size) (in parallel, up to `num_threads`
+/// threads) and folds the per-chunk partials IN CHUNK ORDER with `combine`,
+/// starting from `init`. Because both the chunk boundaries and the combine
+/// order are independent of the thread count, the result is bit-identical
+/// for any num_threads — this is what keeps multi-threaded amplitudes and
+/// bench baselines exactly reproducible.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(int num_threads, std::uint64_t size, T init,
+                 const ChunkFn& chunk_fn, const CombineFn& combine) {
+  const std::uint64_t num_chunks = NumParallelChunks(size);
+  if (num_chunks == 0) {
+    return init;
+  }
+  std::vector<T> partials(num_chunks);
+  ParallelFor(num_threads, size,
+              [&](std::uint64_t begin, std::uint64_t end) {
+                partials[begin / kParallelChunkSize] = chunk_fn(begin, end);
+              });
+  T accumulator = init;
+  for (const T& partial : partials) {
+    accumulator = combine(accumulator, partial);
+  }
+  return accumulator;
+}
+
+}  // namespace qplex
+
+#endif  // QPLEX_COMMON_PARALLEL_H_

@@ -38,8 +38,9 @@ std::int64_t DiffusionCost(int num_qubits) {
 }
 
 GroverSimulation::GroverSimulation(int num_qubits,
-                                   std::vector<std::uint64_t> marked)
-    : simulator_(num_qubits), marked_(std::move(marked)) {
+                                   std::vector<std::uint64_t> marked,
+                                   int num_threads)
+    : simulator_(num_qubits, num_threads), marked_(std::move(marked)) {
   is_marked_.assign(simulator_.dimension(), false);
   for (std::uint64_t basis : marked_) {
     QPLEX_CHECK(basis < simulator_.dimension())

@@ -32,7 +32,10 @@ std::int64_t DiffusionCost(int num_qubits);
 /// uncompute stages are classical and ancilla-clean (verified in tests).
 class GroverSimulation {
  public:
-  GroverSimulation(int num_qubits, std::vector<std::uint64_t> marked);
+  /// `num_threads` is forwarded to the underlying state-vector simulator;
+  /// it changes wall-clock only, never amplitudes (see common/parallel.h).
+  GroverSimulation(int num_qubits, std::vector<std::uint64_t> marked,
+                   int num_threads = 1);
 
   int num_qubits() const { return simulator_.num_qubits(); }
   const std::vector<std::uint64_t>& marked() const { return marked_; }

@@ -89,6 +89,9 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
   if (options.max_attempts < 1) {
     return Status::InvalidArgument("max_attempts must be >= 1");
   }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
   QPLEX_ASSIGN_OR_RETURN(OracleEvaluation eval,
                          EvaluateOracle(graph, k, threshold, options));
 
@@ -100,7 +103,7 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
 
   const auto adjacency = AdjacencyMasks(graph);
   Rng rng(options.seed);
-  GroverSimulation grover(n, eval.marked);
+  GroverSimulation grover(n, eval.marked, options.threads);
   const std::int64_t iteration_cost = eval.oracle_cost + DiffusionCost(n);
 
   if (options.use_bbht) {
@@ -109,7 +112,11 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
     // stay O(sqrt(N / M)).
     double window = 1.0;
     const double max_window = std::sqrt(std::pow(2.0, n));
-    for (int attempt = 0; attempt < options.max_attempts * 8; ++attempt) {
+    // The budget must be reported even on this path: qMKP's overall error
+    // accounting raises the per-attempt failure probability to it, and a
+    // zero budget would claim certain failure (x^0 = 1) for every probe.
+    result.attempt_budget = options.max_attempts * 8;
+    for (int attempt = 0; attempt < result.attempt_budget; ++attempt) {
       const int iterations = static_cast<int>(
           rng.UniformInt(static_cast<std::uint64_t>(std::ceil(window))));
       grover.Reset();
@@ -117,6 +124,10 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
       ++result.attempts;
       result.oracle_calls += iterations;
       result.gate_cost += n + iterations * iteration_cost;
+      // Exact failure probability of this attempt's random rotation; the
+      // last value stands in as the per-attempt error of the whole search
+      // (mirrors the known-M path, where it is constant across attempts).
+      result.error_probability = 1.0 - grover.SuccessProbability();
       const std::uint64_t sample = grover.Measure(rng);
       if (__builtin_popcountll(sample) >= threshold &&
           IsKPlexMask(adjacency, sample, k)) {
@@ -143,7 +154,12 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
     if (single_error > 0 && options.target_error > 0) {
       const int needed = static_cast<int>(std::ceil(
           std::log(options.target_error) / std::log(single_error)));
-      attempt_budget = std::clamp(needed, options.max_attempts, 64);
+      // At least max_attempts, and capped at 64 — unless the caller asked
+      // for more than 64, which raises the cap (std::clamp requires
+      // lo <= hi, so clamping to a fixed 64 is UB for max_attempts > 64).
+      attempt_budget =
+          std::clamp(needed, options.max_attempts,
+                     std::max(options.max_attempts, 64));
     }
   }
   result.attempt_budget = attempt_budget;

@@ -34,8 +34,13 @@ struct QtkpOptions {
   /// over-rotated probes (large M) use very few Grover iterations.
   double target_error = 1e-6;
   /// When true, use the Boyer–Brassard–Høyer–Tapp schedule for unknown M
-  /// instead of quantum counting + the optimal iteration count.
+  /// instead of quantum counting + the optimal iteration count. The attempt
+  /// budget on this path is 8 * max_attempts random-iteration probes.
   bool use_bbht = false;
+  /// Threads used by the state-vector kernels (diffusion, oracle kickback,
+  /// measurement CDF). Affects wall-clock only: amplitudes, measurements and
+  /// every counter are bit-identical for any thread count.
+  int threads = 1;
   std::uint64_t seed = 0x9b1ec5d1ce4e5b9ULL;
 };
 

@@ -20,16 +20,27 @@ namespace qplex {
 /// flip on the vertex register (the |O> = |-> kickback of the paper), with
 /// the marked set computed by running the literal oracle circuit through
 /// BasisStateSimulator once per basis state.
+///
+/// Gate application precomputes one (control_mask, control_value) pair per
+/// gate, so firing is a single mask compare per basis state instead of a
+/// per-control loop, and every O(2^n) kernel (gates, diffusion, phase
+/// oracle, probabilities, sampling CDF) runs over `num_threads` threads with
+/// fixed chunk boundaries and ordered reduction combines — amplitudes are
+/// bit-identical at 1 thread and at N threads (see common/parallel.h).
 class StateVectorSimulator {
  public:
   /// At most kMaxQubits qubits (2^26 amplitudes = 1 GiB of doubles); the
   /// constructor CHECKs the bound.
   static constexpr int kMaxQubits = 26;
 
-  explicit StateVectorSimulator(int num_qubits);
+  explicit StateVectorSimulator(int num_qubits, int num_threads = 1);
 
   int num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+
+  /// Worker threads used by the O(2^n) kernels; results never depend on it.
+  int num_threads() const { return num_threads_; }
+  void set_num_threads(int num_threads);
 
   /// Resets to |0...0>.
   void Reset();
@@ -53,7 +64,9 @@ class StateVectorSimulator {
   void RunCircuit(const Circuit& circuit);
 
   /// Multiplies the amplitude of every basis state satisfying `marked` by -1
-  /// (the oracle's phase kickback).
+  /// (the oracle's phase kickback). The predicate is called concurrently
+  /// from multiple threads when num_threads > 1, so it must be thread-safe
+  /// (pure functions of the basis index are).
   void ApplyPhaseOracle(const std::function<bool(std::uint64_t)>& marked);
   void ApplyPhaseOracle(const std::vector<std::uint64_t>& marked_states);
 
@@ -65,7 +78,8 @@ class StateVectorSimulator {
   double Probability(std::uint64_t basis) const;
   /// Full measurement distribution (2^n entries).
   std::vector<double> Probabilities() const;
-  /// Sum of probabilities over states satisfying `predicate`.
+  /// Sum of probabilities over states satisfying `predicate`. Like the
+  /// phase-oracle predicate, called concurrently when num_threads > 1.
   double SuccessProbability(
       const std::function<bool(std::uint64_t)>& predicate) const;
   /// Sum over all basis states; ~1 up to rounding (used as a sanity check).
@@ -77,7 +91,13 @@ class StateVectorSimulator {
   std::uint64_t SampleOne(Rng& rng) const;
 
  private:
+  /// Cumulative probability distribution over basis states (the shared
+  /// backbone of Sample and SampleOne): cdf[i] = sum_{j <= i} |amp_j|^2,
+  /// built with deterministic per-chunk prefix sums.
+  std::vector<double> BuildCdf() const;
+
   int num_qubits_;
+  int num_threads_;
   std::vector<std::complex<double>> amplitudes_;
 };
 

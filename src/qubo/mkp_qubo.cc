@@ -69,7 +69,6 @@ void MkpQubo::OptimizeSlacks(QuboSample* sample) const {
   QPLEX_CHECK(sample != nullptr && static_cast<int>(sample->size()) ==
                                         num_variables())
       << "sample arity mismatch";
-  const Graph complement = graph.Complement();
   for (Vertex v = 0; v < graph.num_vertices(); ++v) {
     const int big_m_v = big_m[v];
     // Residual the slack has to absorb:
@@ -152,10 +151,11 @@ Result<MkpQubo> BuildMkpQubo(const Graph& graph, int k,
 
   MkpQubo qubo;
   qubo.graph = graph;
+  qubo.complement = graph.Complement();
   qubo.k = k;
   qubo.penalty = options.penalty;
 
-  const Graph complement = graph.Complement();
+  const Graph& complement = qubo.complement;
 
   // Variable layout: vertices first, then each vertex's slack bits. The
   // paper's L_i = ceil(log2 max{d-bar(v_i), k-1}); we use the bit count that

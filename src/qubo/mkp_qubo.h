@@ -23,6 +23,10 @@ struct MkpQubo {
   QuboModel model = QuboModel(0);
   /// The original input graph (the plex is reported against it).
   Graph graph;
+  /// Cached complement N-bar, computed once in BuildMkpQubo; every penalty
+  /// and slack computation walks complement neighborhoods, and rebuilding it
+  /// per OptimizeSlacks call is O(n^2) wasted on the hybrid solver hot path.
+  Graph complement;
   int k = 0;
   double penalty = 0;  ///< R
 

@@ -119,6 +119,33 @@ TEST(CliSmokeTest, MetricsJsonWorksForClassicalBackend) {
   EXPECT_GE(counters->Find("bs.branch_nodes")->AsInt(), 1);
 }
 
+TEST(CliSmokeTest, ThreadsFlagReachesSimulatorAndReport) {
+  const std::filesystem::path graph = WriteExampleGraph();
+  const std::filesystem::path report = TempDir() / "threads_report.json";
+  const int exit_code =
+      RunCli("--input " + graph.string() +
+             " --format edgelist --algorithm qmkp --k 2 --seed 3 --threads 2" +
+             " --metrics-json " + report.string());
+  ASSERT_EQ(exit_code, 0);
+  const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(ReadFile(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue& json = parsed.value();
+  // Threading must not perturb the solution (determinism contract).
+  EXPECT_EQ(json.Find("meta")->Find("solution_size")->AsInt(), 4);
+  EXPECT_EQ(json.Find("meta")->Find("threads")->AsInt(), 2);
+  const obs::JsonValue* gauges = json.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("simulator.threads"), nullptr);
+  EXPECT_EQ(gauges->Find("simulator.threads")->AsDouble(), 2.0);
+  // The parallel gate kernels recorded their work.
+  const obs::JsonValue* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("simulator.diffusion_applies"), nullptr);
+  EXPECT_GE(counters->Find("simulator.diffusion_applies")->AsInt(), 1);
+  ASSERT_NE(counters->Find("simulator.phase_oracle_applies"), nullptr);
+  EXPECT_GE(counters->Find("simulator.phase_oracle_applies")->AsInt(), 1);
+}
+
 TEST(CliSmokeTest, RejectsMalformedNumericFlags) {
   const std::filesystem::path graph = WriteExampleGraph();
   const std::string base = "--input " + graph.string() + " --format edgelist";
@@ -128,6 +155,8 @@ TEST(CliSmokeTest, RejectsMalformedNumericFlags) {
   EXPECT_EQ(RunCli(base + " --k 0"), 2);
   EXPECT_EQ(RunCli(base + " --seed 12junk"), 2);
   EXPECT_EQ(RunCli(base + " --k"), 2);  // missing value
+  EXPECT_EQ(RunCli(base + " --threads 0"), 2);
+  EXPECT_EQ(RunCli(base + " --threads junk"), 2);
 }
 
 TEST(CliSmokeTest, SolvesWithoutMetricsFlagUnchanged) {

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -218,6 +222,142 @@ TEST(TableTest, FormatErrorBound) {
   EXPECT_EQ(FormatErrorBound(3.2e-7), "<10^-6");
   EXPECT_EQ(FormatErrorBound(9.9e-5), "<10^-4");
   EXPECT_EQ(FormatErrorBound(2.0), "1");
+}
+
+// -- ThreadPool / ParallelFor / ParallelReduce --------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.Run(kTasks, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersDegeneratesToInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::vector<int> order;
+  // No workers: tasks must run inline on the caller, in index order.
+  pool.Run(5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, MaxConcurrencyOneRunsInlineInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  pool.Run(5, [&](int i) { order.push_back(i); }, /*max_concurrency=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.Run(0, [](int) { FAIL() << "task ran for an empty batch"; });
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAfterBatchDrains) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.Run(50,
+               [&](int i) {
+                 if (i == 7) {
+                   throw std::runtime_error("task 7 failed");
+                 }
+                 completed.fetch_add(1);
+               }),
+      std::runtime_error);
+  // The failing task does not cancel the rest of the batch.
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.Run(8, [&](int outer) {
+    // A nested Run on the same (or any) pool must not re-enter the batch
+    // protocol; it degrades to inline execution on this thread.
+    pool.Run(8, [&](int inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelForTest, CoversRangeOnceWithRaggedLastChunk) {
+  // More than one chunk, not a multiple of the chunk size.
+  const std::uint64_t size = 3 * kParallelChunkSize + 17;
+  std::vector<int> visits(size, 0);
+  ParallelFor(4, size, [&](std::uint64_t begin, std::uint64_t end) {
+    EXPECT_EQ(begin % kParallelChunkSize, 0u);
+    EXPECT_LE(end - begin, kParallelChunkSize);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      ++visits[i];  // chunks are disjoint, so unsynchronized writes are safe
+    }
+  });
+  for (std::uint64_t i = 0; i < size; ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ParallelFor(4, 0, [](std::uint64_t, std::uint64_t) {
+    FAIL() << "body ran for an empty range";
+  });
+}
+
+TEST(ParallelForTest, BodyExceptionPropagates) {
+  const std::uint64_t size = 4 * kParallelChunkSize;
+  EXPECT_THROW(ParallelFor(4, size,
+                           [&](std::uint64_t begin, std::uint64_t) {
+                             if (begin == 2 * kParallelChunkSize) {
+                               throw std::runtime_error("chunk failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts) {
+  // Floating-point sums are not associative, so this only holds because the
+  // chunk boundaries and the combine order are fixed: the single- and
+  // multi-threaded results must match to the last bit.
+  const std::uint64_t size = 5 * kParallelChunkSize + 331;
+  auto chunk_sum = [](std::uint64_t begin, std::uint64_t end) {
+    double sum = 0.0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      sum += std::sin(static_cast<double>(i)) * 1e-3;
+    }
+    return sum;
+  };
+  auto combine = [](double a, double b) { return a + b; };
+  const double serial = ParallelReduce(1, size, 0.0, chunk_sum, combine);
+  for (int threads : {2, 4, 7}) {
+    const double parallel =
+        ParallelReduce(threads, size, 0.0, chunk_sum, combine);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  const double result = ParallelReduce(
+      4, 0, 42.0, [](std::uint64_t, std::uint64_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(result, 42.0);
+}
+
+TEST(ParallelReduceTest, CombinesInChunkOrder) {
+  // Concatenating per-chunk strings exposes any out-of-order combine.
+  const std::uint64_t size = 4 * kParallelChunkSize;
+  const std::string result = ParallelReduce(
+      4, size, std::string(),
+      [](std::uint64_t begin, std::uint64_t) {
+        return std::to_string(begin / kParallelChunkSize);
+      },
+      [](std::string acc, const std::string& part) { return acc + part; });
+  EXPECT_EQ(result, "0123");
 }
 
 }  // namespace

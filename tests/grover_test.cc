@@ -161,11 +161,57 @@ TEST(QtkpTest, BbhtFindsSolutionWithoutKnownM) {
   EXPECT_EQ(result.mask, 0b011011u);
 }
 
+TEST(QtkpTest, BbhtReportsMeaningfulErrorAccounting) {
+  // Regression: the BBHT branch used to leave attempt_budget at 0 and
+  // error_probability at its default, so qMKP's residual-error product
+  // multiplied by 1 - e^0 = 0 and every BBHT run claimed certain failure.
+  QtkpOptions options;
+  options.use_bbht = true;
+  options.seed = 9;
+  const QtkpResult result =
+      RunQtkp(PaperExampleGraph(), 2, 4, options).value();
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.attempt_budget, options.max_attempts * 8);
+  EXPECT_GE(result.error_probability, 0.0);
+  EXPECT_LT(result.error_probability, 1.0);
+}
+
+TEST(QtkpTest, LargeMaxAttemptsClampIsWellDefined) {
+  // Regression: the retry-budget clamp used a fixed hi of 64, which is UB
+  // (std::clamp requires lo <= hi) as soon as max_attempts > 64. The budget
+  // must come out exactly at the caller's floor, not at garbage.
+  QtkpOptions options;
+  options.seed = 1;
+  options.max_attempts = 100;
+  const QtkpResult result =
+      RunQtkp(PaperExampleGraph(), 2, 4, options).value();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.attempt_budget, 100);
+}
+
+TEST(QtkpTest, ThreadCountDoesNotChangeResults) {
+  QtkpOptions serial_opts;
+  serial_opts.seed = 1;
+  QtkpOptions threaded_opts = serial_opts;
+  threaded_opts.threads = 4;
+  const QtkpResult serial =
+      RunQtkp(PaperExampleGraph(), 2, 4, serial_opts).value();
+  const QtkpResult threaded =
+      RunQtkp(PaperExampleGraph(), 2, 4, threaded_opts).value();
+  EXPECT_EQ(serial.mask, threaded.mask);
+  EXPECT_EQ(serial.iterations, threaded.iterations);
+  EXPECT_EQ(serial.attempts, threaded.attempts);
+  EXPECT_EQ(serial.error_probability, threaded.error_probability);
+}
+
 TEST(QtkpTest, RejectsOversizedGraphs) {
   QtkpOptions options;
   EXPECT_FALSE(RunQtkp(Graph(40), 2, 3, options).ok());
   EXPECT_FALSE(RunQtkp(Graph(0), 2, 0, options).ok());
   options.max_attempts = 0;
+  EXPECT_FALSE(RunQtkp(PaperExampleGraph(), 2, 3, options).ok());
+  options.max_attempts = 1;
+  options.threads = 0;
   EXPECT_FALSE(RunQtkp(PaperExampleGraph(), 2, 3, options).ok());
 }
 
@@ -265,6 +311,21 @@ TEST(QmkpTest, EmptyGraph) {
   const QmkpResult result = RunQmkp(Graph(0), 2, options).value();
   EXPECT_EQ(result.best_size, 0);
   EXPECT_TRUE(result.probes.empty());
+}
+
+TEST(QmkpTest, BbhtOverallErrorBelowOne) {
+  // Regression companion to BbhtReportsMeaningfulErrorAccounting: with the
+  // zero attempt_budget bug, every successful BBHT probe contributed
+  // 1 - e^0 = 0 to the success product and qMKP reported
+  // error_probability == 1 regardless of how reliably it succeeded.
+  QtkpOptions options;
+  options.use_bbht = true;
+  options.seed = 3;
+  const QmkpResult result =
+      RunQmkp(PaperExampleGraph(), 2, options).value();
+  EXPECT_EQ(result.best_size, 4);
+  EXPECT_LT(result.error_probability, 1.0);
+  EXPECT_GE(result.error_probability, 0.0);
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 //
 //   qplex_cli --input graph.col [--format dimacs|edgelist] [--k 2]
 //             [--algorithm bs|enum|qmkp|qamkp|milp] [--seed 1]
-//             [--metrics-json <file|->] [--verbose-trace]
+//             [--threads N] [--metrics-json <file|->] [--verbose-trace]
 //             [--events <file|->] [--progress-interval-ms N]
 //
 // With --input - the graph is read from stdin. --metrics-json writes a
@@ -11,7 +11,9 @@
 // --verbose-trace prints the nested span timings to stderr. --events streams
 // structured JSONL events (run lifecycle + rate-limited solver progress
 // heartbeats) while the solve is running; --progress-interval-ms sets the
-// heartbeat spacing (default 250, must be >= 1).
+// heartbeat spacing (default 250, must be >= 1). --threads parallelizes the
+// state-vector kernels of the quantum solvers (qmkp); results are
+// bit-identical for any thread count.
 
 #include <charconv>
 #include <iostream>
@@ -29,6 +31,7 @@ struct CliOptions {
   std::string format = "dimacs";
   std::string algorithm = "bs";
   int k = 2;
+  int threads = 1;
   std::uint64_t seed = 1;
   std::string metrics_json;  // empty = no report; "-" = stdout
   bool verbose_trace = false;
@@ -40,7 +43,8 @@ void PrintUsage() {
   std::cerr << "usage: qplex_cli --input <file|-> [--format dimacs|edgelist]\n"
                "                 [--k <int>] [--algorithm "
                "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n"
-               "                 [--metrics-json <file|->] [--verbose-trace]\n"
+               "                 [--threads <int>] [--metrics-json <file|->] "
+               "[--verbose-trace]\n"
                "                 [--events <file|->] "
                "[--progress-interval-ms <int>]\n";
 }
@@ -82,6 +86,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--seed") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.seed, ParseInt<std::uint64_t>(arg, value));
+    } else if (arg == "--threads") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.threads, ParseInt<int>(arg, value));
     } else if (arg == "--metrics-json") {
       QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
     } else if (arg == "--verbose-trace") {
@@ -103,6 +110,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.k < 1) {
     return Status::InvalidArgument("--k must be >= 1");
+  }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
   }
   if (options.progress_interval_ms < 1) {
     return Status::InvalidArgument("--progress-interval-ms must be >= 1");
@@ -137,6 +147,7 @@ Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
     qtkp.backend = graph.num_vertices() <= 10 ? OracleBackend::kCircuit
                                               : OracleBackend::kPredicate;
     qtkp.seed = options.seed;
+    qtkp.threads = options.threads;
     QPLEX_ASSIGN_OR_RETURN(QmkpResult result,
                            RunQmkp(graph, options.k, qtkp));
     MkpSolution solution;
@@ -188,6 +199,7 @@ obs::RunReport BuildReport(const CliOptions& options, const Graph& graph,
   report.SetMeta("algorithm", options.algorithm);
   report.SetMeta("k", options.k);
   report.SetMeta("seed", static_cast<std::int64_t>(options.seed));
+  report.SetMeta("threads", options.threads);
   report.SetMeta("num_vertices", graph.num_vertices());
   report.SetMeta("num_edges", graph.num_edges());
   report.SetMeta("solution_size", solution.size);

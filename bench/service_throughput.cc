@@ -1,0 +1,181 @@
+// Service-layer throughput bench. Two phases:
+//
+//  1. Portfolio race (NOT captured in the report's counters): each backend of
+//     {bs, grasp, sa} solves one moderately hard instance alone through the
+//     scheduler, then a portfolio job races all three. The acceptance bar is
+//     that the portfolio beats the slowest single backend on wall-clock —
+//     the exact solver finishes, proves optimality, and cancels the grinders.
+//     Wall-clocks are machine-dependent, so they land in report *meta*
+//     (which benchdiff never compares), and the bench exits 1 if the bar is
+//     missed.
+//
+//  2. Deterministic throughput batch (captured): 24 unique single-backend
+//     jobs (bs/enum/grasp/sa x three G(n,m) graphs x k in {2,3}) followed by
+//     a second wave repeating 12 of them verbatim. The first wave is fully
+//     drained before the repeats are submitted, so every repeat is a cache
+//     hit and every counter in the report — jobs submitted/completed, cache
+//     hits/misses/insertions, per-backend job counts, and the summed
+//     solution sizes — is deterministic at any worker count. The metrics
+//     registry is reset between the phases so none of phase 1's racy
+//     counters leak into the gated report.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "svc/registry.h"
+#include "svc/scheduler.h"
+#include "svc/solver.h"
+
+namespace qplex {
+namespace {
+
+constexpr int kWorkers = 4;
+
+svc::SolveRequest HardRequest(const std::string& backend) {
+  svc::SolveRequest request;
+  request.graph = RandomGnm(40, 300, 7).value();
+  request.k = 2;
+  request.backend = backend;
+  request.seed = 11;
+  // Make the heuristic racers grind: without cancellation, grasp runs 200k
+  // constructions and sa anneals 4k shots — both far slower than bs proving
+  // the optimum outright.
+  request.options["iterations"] = "200000";
+  request.options["shots"] = "4000";
+  return request;
+}
+
+double MeasureWall(svc::JobScheduler* scheduler, svc::JobId id) {
+  const svc::SolveResponse response = scheduler->Wait(id);
+  QPLEX_CHECK(response.status.ok()) << response.status.ToString();
+  return response.metrics.queue_seconds + response.metrics.wall_seconds;
+}
+
+}  // namespace
+}  // namespace qplex
+
+int main() {
+  using namespace qplex;
+  const std::vector<std::string> racers = {"bs", "grasp", "sa"};
+  svc::SolverRegistry registry = svc::MakeBuiltinRegistry();
+
+  std::cout << "Service throughput bench\n\n-- phase 1: portfolio race --\n";
+  double slowest_single = 0;
+  std::string slowest_name;
+  {
+    svc::JobSchedulerOptions options;
+    options.num_workers = kWorkers;
+    options.enable_cache = false;
+    svc::JobScheduler scheduler(&registry, options);
+    for (const std::string& backend : racers) {
+      const Result<svc::JobId> id = scheduler.Submit(HardRequest(backend));
+      QPLEX_CHECK(id.ok()) << id.status().ToString();
+      const double wall = MeasureWall(&scheduler, id.value());
+      std::cout << "  " << backend << " alone: " << wall << " s\n";
+      if (wall > slowest_single) {
+        slowest_single = wall;
+        slowest_name = backend;
+      }
+    }
+  }
+  double portfolio_wall = 0;
+  {
+    svc::JobSchedulerOptions options;
+    options.num_workers = kWorkers;
+    options.enable_cache = false;
+    svc::JobScheduler scheduler(&registry, options);
+    const Result<svc::JobId> id =
+        scheduler.SubmitPortfolio(HardRequest("bs"), racers);
+    QPLEX_CHECK(id.ok()) << id.status().ToString();
+    portfolio_wall = MeasureWall(&scheduler, id.value());
+  }
+  std::cout << "  portfolio(bs,grasp,sa): " << portfolio_wall
+            << " s (slowest single: " << slowest_name << " at "
+            << slowest_single << " s)\n";
+  const bool portfolio_wins = portfolio_wall < slowest_single;
+  std::cout << "  portfolio beats slowest single backend: "
+            << (portfolio_wins ? "yes" : "NO") << "\n";
+
+  std::cout << "\n-- phase 2: deterministic throughput batch --\n";
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
+
+  std::vector<svc::SolveRequest> wave1;
+  for (const auto& [n, m, seed] :
+       std::vector<std::tuple<int, int, std::uint64_t>>{
+           {18, 60, 1}, {20, 75, 2}, {22, 90, 3}}) {
+    for (const std::string backend : {"bs", "enum", "grasp", "sa"}) {
+      for (const int k : {2, 3}) {
+        svc::SolveRequest request;
+        request.graph = RandomGnm(n, m, seed).value();
+        request.k = k;
+        request.backend = backend;
+        request.seed = 5;
+        wave1.push_back(std::move(request));
+      }
+    }
+  }
+  const std::vector<svc::SolveRequest> repeats(wave1.begin(),
+                                               wave1.begin() + 12);
+
+  svc::JobSchedulerOptions options;
+  options.num_workers = kWorkers;
+  svc::JobScheduler scheduler(&registry, options);
+  std::int64_t total_size = 0;
+  Stopwatch batch_watch;
+  for (const std::vector<svc::SolveRequest>* wave :
+       {static_cast<const std::vector<svc::SolveRequest>*>(&wave1),
+        &repeats}) {
+    std::vector<svc::JobId> ids;
+    for (const svc::SolveRequest& request : *wave) {
+      const Result<svc::JobId> id = scheduler.Submit(request);
+      QPLEX_CHECK(id.ok()) << id.status().ToString();
+      ids.push_back(id.value());
+    }
+    // Drain the wave fully so every repeat in the next wave is a cache hit.
+    for (const svc::JobId id : ids) {
+      const svc::SolveResponse response = scheduler.Wait(id);
+      QPLEX_CHECK(response.status.ok()) << response.status.ToString();
+      total_size += response.solution.size;
+    }
+  }
+  const double batch_seconds = batch_watch.ElapsedSeconds();
+  const std::int64_t total_jobs =
+      static_cast<std::int64_t>(wave1.size() + repeats.size());
+  obs::MetricsRegistry::Global()
+      .GetCounter("bench.total_solution_size")
+      .Add(total_size);
+  std::cout << "  " << total_jobs << " jobs in " << batch_seconds << " s ("
+            << total_jobs / batch_seconds << " jobs/s), summed solution size "
+            << total_size << "\n";
+
+  obs::RunReport report("Service");
+  report.SetMeta("workers", kWorkers);
+  report.SetMeta("jobs", total_jobs);
+  report.SetMeta("batch_seconds", batch_seconds);
+  // "wall" in the name keeps benchdiff's timing tolerance (warn-only).
+  report.SetMeta("jobs_per_wall_second", total_jobs / batch_seconds);
+  report.SetMeta("portfolio_wall_seconds", portfolio_wall);
+  report.SetMeta("slowest_single_backend", slowest_name);
+  report.SetMeta("slowest_single_wall_seconds", slowest_single);
+  report.SetMeta("portfolio_beats_slowest", portfolio_wins);
+  report.Capture();
+  bench::EmitBenchReport(report);
+
+  if (!portfolio_wins) {
+    std::cerr << "FAIL: portfolio slower than the slowest single backend\n";
+    return 1;
+  }
+  return 0;
+}

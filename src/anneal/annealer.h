@@ -22,6 +22,10 @@ struct CostTracePoint {
 struct AnnealResult {
   QuboSample best_sample;
   double best_energy = 0;
+  /// False when the run stopped early (deadline expired or cancellation
+  /// requested) and the result is the incumbent at that point, not the full
+  /// budget's outcome.
+  bool completed = true;
   /// Total shots (independent anneals) performed.
   int shots = 0;
   /// Monte Carlo sweeps executed in total.

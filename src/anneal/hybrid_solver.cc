@@ -40,6 +40,9 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
   }
   obs::TraceSpan span("anneal.hybrid");
   obs::ProgressHeartbeat heartbeat("anneal.hybrid");
+  const Deadline deadline = options_.time_limit_seconds > 0
+                                ? Deadline::After(options_.time_limit_seconds)
+                                : Deadline::Infinite();
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
@@ -51,12 +54,26 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
   sa_options.shots = 1;
   sa_options.beta_final = 8.0;
   sa_options.micros_per_sweep = options_.micros_per_sweep;
+  sa_options.cancel = options_.cancel;
 
   while (result.modeled_micros < options_.min_runtime_micros &&
          result.shots < options_.max_restarts) {
+    if (StopRequested(deadline, options_.cancel)) {
+      result.completed = false;
+      break;
+    }
+    // Inner restarts inherit whatever wall-clock budget remains, so expiry is
+    // detected at SA sweep granularity rather than between restarts.
+    if (options_.time_limit_seconds > 0) {
+      sa_options.time_limit_seconds =
+          std::max(deadline.RemainingSeconds(), 1e-9);
+    }
     sa_options.seed = rng.Next();
     SimulatedAnnealer annealer(sa_options);
     QPLEX_ASSIGN_OR_RETURN(AnnealResult restart, annealer.Run(model));
+    if (!restart.completed) {
+      result.completed = false;
+    }
     QuboSample polished = restart.best_sample;
     int flips = SteepestDescent(model, &polished);
     if (options_.refine) {
@@ -70,6 +87,9 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
     ++result.shots;
     anneal_internal::RecordSample(model, polished, result.modeled_micros,
                                   &result, &heartbeat);
+    if (!result.completed) {
+      break;  // budget exhausted mid-restart; keep the polished incumbent
+    }
 
     // Basin hopping around the incumbent: perturb a few bits of the best
     // sample and re-polish. This is the "classical supercomputing" half of

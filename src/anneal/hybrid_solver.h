@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "anneal/annealer.h"
+#include "common/cancel.h"
 
 namespace qplex {
 
@@ -29,6 +30,12 @@ struct HybridSolverOptions {
   /// restarts, so locally we run at most this many and report the result at
   /// the contract time (modeled_micros is clamped up to the floor).
   int max_restarts = 64;
+  /// Wall-clock budget; <= 0 is unlimited. Threaded into every inner SA
+  /// restart, so expiry is detected at sweep granularity; the incumbent is
+  /// returned with `completed == false`.
+  double time_limit_seconds = 0;
+  /// Optional cooperative cancellation; polled with the deadline.
+  const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
 };
 

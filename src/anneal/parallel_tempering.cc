@@ -25,6 +25,9 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
   obs::ProgressHeartbeat heartbeat("anneal.pt");
   const int n = model.num_variables();
   const int R = options_.num_replicas;
+  const Deadline deadline = options_.time_limit_seconds > 0
+                                ? Deadline::After(options_.time_limit_seconds)
+                                : Deadline::Infinite();
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
@@ -48,10 +51,14 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
     energies.push_back(model.Evaluate(replicas.back()));
   }
 
-  for (int round = 0; round < options_.rounds; ++round) {
+  for (int round = 0; round < options_.rounds && result.completed; ++round) {
     // Metropolis sweeps per replica at its own temperature.
-    for (int r = 0; r < R; ++r) {
+    for (int r = 0; r < R && result.completed; ++r) {
       for (int sweep = 0; sweep < options_.sweeps_per_round; ++sweep) {
+        if (StopRequested(deadline, options_.cancel)) {
+          result.completed = false;
+          break;
+        }
         for (int i = 0; i < n; ++i) {
           const double delta = model.FlipDelta(replicas[r], i);
           if (delta <= 0 ||
@@ -61,8 +68,8 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
             ++moves_accepted;
           }
         }
+        ++result.sweeps;
       }
-      result.sweeps += options_.sweeps_per_round;
     }
     // Replica-exchange: swap adjacent temperatures with the Metropolis
     // acceptance exp((beta_a - beta_b)(E_a - E_b)).

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "anneal/annealer.h"
+#include "common/cancel.h"
 
 namespace qplex {
 
@@ -21,6 +22,11 @@ struct ParallelTemperingOptions {
   int rounds = 64;
   /// Modeled micros one sweep accounts for (for the anytime trace).
   double micros_per_sweep = 1.0;
+  /// Wall-clock budget; <= 0 is unlimited. Checked every replica sweep; on
+  /// expiry the incumbent is returned with `completed == false`.
+  double time_limit_seconds = 0;
+  /// Optional cooperative cancellation; polled with the deadline.
+  const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
 };
 

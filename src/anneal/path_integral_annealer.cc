@@ -46,6 +46,9 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
 
   obs::TraceSpan span("anneal.sqa");
   obs::ProgressHeartbeat heartbeat("anneal.sqa");
+  const Deadline deadline = options_.time_limit_seconds > 0
+                                ? Deadline::After(options_.time_limit_seconds)
+                                : Deadline::Infinite();
   Stopwatch watch;
   AnnealResult result;
   Rng rng(options_.seed);
@@ -54,7 +57,7 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
   std::vector<std::vector<std::int8_t>> spins(
       P, std::vector<std::int8_t>(n, 1));
 
-  for (int shot = 0; shot < options_.shots; ++shot) {
+  for (int shot = 0; shot < options_.shots && result.completed; ++shot) {
     // Fresh random configuration for every replica.
     for (int p = 0; p < P; ++p) {
       for (int i = 0; i < n; ++i) {
@@ -63,6 +66,10 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
     }
 
     for (int sweep = 0; sweep < sweeps_per_shot; ++sweep) {
+      if (StopRequested(deadline, options_.cancel)) {
+        result.completed = false;
+        break;
+      }
       // Linear transverse-field decay within the shot.
       const double progress =
           sweeps_per_shot == 1

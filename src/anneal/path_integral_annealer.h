@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "anneal/annealer.h"
+#include "common/cancel.h"
 
 namespace qplex {
 
@@ -34,6 +35,11 @@ struct PathIntegralAnnealerOptions {
   /// huge value to disable the effect.
   double saturation_micros = 2.0;
   int shots = 100;
+  /// Wall-clock budget; <= 0 is unlimited. Checked every Trotter sweep; on
+  /// expiry the incumbent is returned with `completed == false`.
+  double time_limit_seconds = 0;
+  /// Optional cooperative cancellation; polled with the deadline.
+  const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
 };
 

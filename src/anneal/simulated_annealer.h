@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "anneal/annealer.h"
+#include "common/cancel.h"
 
 namespace qplex {
 
@@ -20,6 +21,13 @@ struct SimulatedAnnealerOptions {
   double beta_final = 5.0;
   /// Modeled time one sweep costs, for the anytime curves (micros).
   double micros_per_sweep = 1.0;
+  /// Wall-clock budget; <= 0 is unlimited. Checked every sweep, so a 1 ms
+  /// deadline stops the run promptly; the incumbent is returned with
+  /// `AnnealResult::completed == false`.
+  double time_limit_seconds = 0;
+  /// Optional cooperative cancellation (service portfolio races); polled
+  /// together with the deadline. May be null.
+  const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
 };
 

@@ -89,7 +89,7 @@ void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
   }
   ++stats_.branch_nodes;
   if ((stats_.branch_nodes & 0x3FF) == 0) {
-    if (ctx.deadline.Expired()) {
+    if (StopRequested(ctx.deadline, ctx.options->cancel)) {
       ctx.aborted = true;
       return;
     }

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "classical/exact.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "graph/graph.h"
@@ -18,9 +19,13 @@ struct BsSolverOptions {
   bool use_reduction = true;
   /// Use the degree-support upper bound min_{u in P}(deg_P(u)+deg_C(u))+k.
   bool use_support_bound = true;
-  /// Wall-clock budget; DeadlineExceeded is returned with the incumbent so
-  /// far recorded in the result if it expires.
+  /// Wall-clock budget; the incumbent so far is returned with
+  /// `stats().completed == false` if it expires (checked every ~1k branch
+  /// nodes, so expiry is detected within milliseconds).
   double time_limit_seconds = 0;  // <= 0 means unlimited
+  /// Optional cooperative cancellation (service portfolio races); polled
+  /// together with the deadline. May be null.
+  const CancelToken* cancel = nullptr;
   /// Invoked whenever the incumbent improves (progressive reporting).
   std::function<void(const MkpSolution&)> on_incumbent;
 };

@@ -8,7 +8,8 @@
 
 namespace qplex {
 
-Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
+Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
+                                          const EnumerationControl& control) {
   const int n = graph.num_vertices();
   if (n > 30) {
     return Status::InvalidArgument("enumeration limited to n <= 30");
@@ -16,14 +17,29 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
+  if (control.completed != nullptr) {
+    *control.completed = true;
+  }
   MkpSolution best;
   if (n == 0) {
     return best;
   }
   obs::TraceSpan span("exact.enumerate");
+  const Deadline deadline = control.time_limit_seconds > 0
+                                ? Deadline::After(control.time_limit_seconds)
+                                : Deadline::Infinite();
   const auto adjacency = AdjacencyMasks(graph);
   const std::uint64_t space = std::uint64_t{1} << n;
+  std::uint64_t scanned = space;
   for (std::uint64_t mask = 0; mask < space; ++mask) {
+    if ((mask & 0xFFF) == 0 && mask != 0 &&
+        StopRequested(deadline, control.cancel)) {
+      if (control.completed != nullptr) {
+        *control.completed = false;
+      }
+      scanned = mask;
+      break;
+    }
     const int size = std::popcount(mask);
     if (size > best.size && IsKPlexMask(adjacency, mask, k)) {
       best.size = size;
@@ -34,7 +50,7 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k) {
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("exact.enumerations").Increment();
   registry.GetCounter("exact.masks_scanned")
-      .Add(static_cast<std::int64_t>(space));
+      .Add(static_cast<std::int64_t>(scanned));
   return best;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -15,10 +16,20 @@ struct MkpSolution {
   std::uint64_t mask = 0;  ///< subset mask (valid when n <= 64)
 };
 
+/// Optional interruption controls for the enumeration scan. The scan polls
+/// every few thousand masks; when interrupted it returns the best subset seen
+/// so far (NOT a verified optimum) and sets `*completed` to false.
+struct EnumerationControl {
+  double time_limit_seconds = 0;  ///< <= 0: unlimited
+  const CancelToken* cancel = nullptr;
+  bool* completed = nullptr;  ///< written when non-null
+};
+
 /// Exhaustive maximum k-plex over all 2^n subsets — the ground truth every
 /// other solver (classical and quantum) is validated against. Requires
 /// n <= 30; O*(2^n).
-Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k);
+Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
+                                          const EnumerationControl& control = {});
 
 /// Exhaustive count of k-plexes with size >= threshold (the Grover M).
 Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,13 +44,21 @@ std::vector<Vertex> CompatibleCandidates(
   return candidates;
 }
 
+/// Pollable stop predicate threaded through the construction and local
+/// search loops so service deadlines and portfolio cancellations interrupt
+/// GRASP mid-iteration, not just between iterations.
+using StopFn = std::function<bool()>;
+
 /// Randomized greedy construction: repeatedly pick uniformly among the
 /// top-alpha candidates ranked by degree into (chosen | candidates).
 std::uint64_t Construct(const std::vector<std::uint64_t>& adjacency, int n,
-                        int k, double alpha, Rng& rng) {
+                        int k, double alpha, Rng& rng, const StopFn& stop) {
   std::uint64_t chosen = std::uint64_t{1}
                          << rng.UniformInt(static_cast<std::uint64_t>(n));
   for (;;) {
+    if (stop()) {
+      return chosen;
+    }
     std::vector<Vertex> candidates =
         CompatibleCandidates(adjacency, n, chosen, k);
     if (candidates.empty()) {
@@ -70,12 +79,16 @@ std::uint64_t Construct(const std::vector<std::uint64_t>& adjacency, int n,
 /// Local search: try dropping each member and greedily refilling; accept the
 /// first strict improvement, repeat until none.
 std::uint64_t LocalSearch(const std::vector<std::uint64_t>& adjacency, int n,
-                          int k, std::uint64_t chosen, Rng& rng) {
+                          int k, std::uint64_t chosen, Rng& rng,
+                          const StopFn& stop) {
   bool improved = true;
   while (improved) {
     improved = false;
     std::uint64_t members = chosen;
     while (members != 0) {
+      if (stop()) {
+        return chosen;
+      }
       const int drop = std::countr_zero(members);
       members &= members - 1;
       std::uint64_t trial = chosen & ~(std::uint64_t{1} << drop);
@@ -108,7 +121,7 @@ std::uint64_t LocalSearch(const std::vector<std::uint64_t>& adjacency, int n,
 
 }  // namespace
 
-Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
+Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
   const int n = graph.num_vertices();
   if (n > 64) {
     return Status::InvalidArgument("GraspSolver requires n <= 64");
@@ -119,6 +132,7 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
   if (options_.iterations < 1 || options_.alpha < 0 || options_.alpha > 1) {
     return Status::InvalidArgument("bad GRASP options");
   }
+  stats_ = GraspStats{};
   MkpSolution best;
   if (n == 0) {
     return best;
@@ -127,19 +141,30 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) const {
   std::int64_t improvements = 0;
   const auto adjacency = AdjacencyMasks(graph);
   Rng rng(options_.seed);
+  const Deadline deadline = options_.time_limit_seconds > 0
+                                ? Deadline::After(options_.time_limit_seconds)
+                                : Deadline::Infinite();
+  const StopFn stop = [this, &deadline] {
+    return StopRequested(deadline, options_.cancel);
+  };
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
-    std::uint64_t plex = Construct(adjacency, n, k, options_.alpha, rng);
-    plex = LocalSearch(adjacency, n, k, plex, rng);
+    if (stop()) {
+      stats_.completed = false;
+      break;
+    }
+    std::uint64_t plex = Construct(adjacency, n, k, options_.alpha, rng, stop);
+    plex = LocalSearch(adjacency, n, k, plex, rng, stop);
     if (std::popcount(plex) > best.size) {
       best.size = std::popcount(plex);
       best.mask = plex;
       ++improvements;
     }
+    ++stats_.iterations_run;
   }
   best.members = MaskToBitset(n, best.mask).ToList();
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("grasp.solves").Increment();
-  registry.GetCounter("grasp.iterations").Add(options_.iterations);
+  registry.GetCounter("grasp.iterations").Add(stats_.iterations_run);
   registry.GetCounter("grasp.improvements").Add(improvements);
   registry.GetGauge("grasp.best_size").Set(best.size);
   return best;

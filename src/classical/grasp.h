@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "classical/exact.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -19,7 +20,20 @@ struct GraspOptions {
   int iterations = 64;
   /// Candidate-list greediness: 0 = pure greedy, 1 = uniform random.
   double alpha = 0.3;
+  /// Wall-clock budget; <= 0 is unlimited. Checked inside the construction
+  /// and local-search loops (not just between iterations), so a millisecond
+  /// deadline stops the run promptly; the incumbent is returned with
+  /// `stats().completed == false`.
+  double time_limit_seconds = 0;
+  /// Optional cooperative cancellation; polled with the deadline.
+  const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+};
+
+/// Outcome bookkeeping of one GRASP run.
+struct GraspStats {
+  int iterations_run = 0;
+  bool completed = true;  ///< false when the deadline/cancellation fired
 };
 
 class GraspSolver {
@@ -27,10 +41,13 @@ class GraspSolver {
   explicit GraspSolver(GraspOptions options = {}) : options_(options) {}
 
   /// Finds a (maximal, not necessarily maximum) k-plex of `graph` (n <= 64).
-  Result<MkpSolution> Solve(const Graph& graph, int k) const;
+  Result<MkpSolution> Solve(const Graph& graph, int k);
+
+  const GraspStats& stats() const { return stats_; }
 
  private:
   GraspOptions options_;
+  GraspStats stats_;
 };
 
 }  // namespace qplex

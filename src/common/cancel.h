@@ -1,0 +1,40 @@
+#ifndef QPLEX_COMMON_CANCEL_H_
+#define QPLEX_COMMON_CANCEL_H_
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+
+namespace qplex {
+
+/// Cooperative cancellation flag shared between a controller (the service
+/// scheduler, a portfolio race) and one or more running solvers. The
+/// controller calls Cancel(); solvers poll Cancelled() in their hot loops at
+/// the same granularity as their deadline checks and unwind with their
+/// incumbent. Cancellation is level-triggered and sticky: once set it stays
+/// set for the token's lifetime.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The combined stop predicate solvers poll between units of work: true when
+/// the deadline expired or the (optional) token was cancelled. Cheap enough
+/// for per-sweep / per-kilonode polling; not meant for inner loops.
+inline bool StopRequested(const Deadline& deadline, const CancelToken* cancel) {
+  return (cancel != nullptr && cancel->Cancelled()) || deadline.Expired();
+}
+
+}  // namespace qplex
+
+#endif  // QPLEX_COMMON_CANCEL_H_

@@ -1,7 +1,10 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace qplex {
@@ -17,6 +20,32 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+/// Shared edge validation for the text loaders: self-loops are rejected with
+/// the offending line number (they would otherwise silently vanish inside
+/// Graph::AddEdge), out-of-range endpoints are rejected before graph
+/// construction, and repeated edges (in either orientation) are dropped so a
+/// noisy file cannot inflate the declared edge count.
+Status AppendEdge(Vertex u, Vertex v, int num_vertices, int line_number,
+                  std::set<std::pair<Vertex, Vertex>>* seen,
+                  std::vector<std::pair<Vertex, Vertex>>* edges) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loop " + std::to_string(u) + "-" +
+                                   std::to_string(v) + " at line " +
+                                   std::to_string(line_number));
+  }
+  if (u < 0 || u >= num_vertices || v < 0 || v >= num_vertices) {
+    return Status::InvalidArgument(
+        "edge endpoint out of range at line " + std::to_string(line_number) +
+        " (vertices: " + std::to_string(num_vertices) + ")");
+  }
+  const auto key = std::minmax(u, v);
+  if (!seen->insert(key).second) {
+    return Status::Ok();  // duplicate: keep the first occurrence
+  }
+  edges->emplace_back(u, v);
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<Graph> ParseEdgeList(const std::string& text) {
@@ -24,6 +53,7 @@ Result<Graph> ParseEdgeList(const std::string& text) {
   std::string line;
   int num_vertices = -1;
   std::vector<std::pair<Vertex, Vertex>> edges;
+  std::set<std::pair<Vertex, Vertex>> seen;
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
@@ -45,7 +75,8 @@ Result<Graph> ParseEdgeList(const std::string& text) {
       return Status::InvalidArgument("bad edge at line " +
                                      std::to_string(line_number));
     }
-    edges.emplace_back(u, v);
+    QPLEX_RETURN_IF_ERROR(
+        AppendEdge(u, v, num_vertices, line_number, &seen, &edges));
   }
   if (num_vertices < 0) {
     return Status::InvalidArgument("missing vertex count header");
@@ -67,6 +98,7 @@ Result<Graph> ParseDimacs(const std::string& text) {
   std::string line;
   int num_vertices = -1;
   std::vector<std::pair<Vertex, Vertex>> edges;
+  std::set<std::pair<Vertex, Vertex>> seen;
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
@@ -94,7 +126,8 @@ Result<Graph> ParseDimacs(const std::string& text) {
         return Status::InvalidArgument("bad edge at line " +
                                        std::to_string(line_number));
       }
-      edges.emplace_back(u - 1, v - 1);
+      QPLEX_RETURN_IF_ERROR(
+          AppendEdge(u - 1, v - 1, num_vertices, line_number, &seen, &edges));
     } else {
       return Status::InvalidArgument("unknown record '" + std::string(1, tag) +
                                      "' at line " + std::to_string(line_number));

@@ -57,7 +57,7 @@ Result<MilpSolution> MilpSolver::Solve(const MilpProblem& problem) const {
   stack.push_back(Node{});
 
   while (!stack.empty()) {
-    if (deadline.Expired() ||
+    if (StopRequested(deadline, options_.cancel) ||
         (options_.max_nodes > 0 && solution.nodes >= options_.max_nodes)) {
       solution.optimal = false;
       solution.seconds = watch.ElapsedSeconds();

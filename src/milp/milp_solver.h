@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "milp/simplex.h"
@@ -39,6 +40,9 @@ struct MilpSolution {
 struct MilpSolverOptions {
   double time_limit_seconds = 0;  ///< <= 0: unlimited
   std::int64_t max_nodes = 0;     ///< <= 0: unlimited
+  /// Optional cooperative cancellation; polled with the deadline at every
+  /// branch-and-bound node. May be null.
+  const CancelToken* cancel = nullptr;
   /// Integrality tolerance for classifying LP values.
   double integrality_tolerance = 1e-6;
   /// Optional primal heuristic: given a node's (fractional) LP solution,

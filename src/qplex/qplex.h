@@ -22,6 +22,8 @@
 ///   milp/      dense simplex, branch & bound, McCormick linearization
 ///   classical/ enumeration ground truth, BS branch-and-search, reductions
 ///   workload/  the paper's dataset registry
+///   svc/       solver service layer: unified backend registry, bounded job
+///              scheduler with portfolio racing, instance result cache
 
 #include "anneal/hybrid_solver.h"
 #include "anneal/parallel_tempering.h"
@@ -34,6 +36,8 @@
 #include "classical/exact.h"
 #include "classical/grasp.h"
 #include "classical/reduce.h"
+#include "common/cancel.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -71,6 +75,11 @@
 #include "qubo/qubo_model.h"
 #include "relax/club.h"
 #include "relax/club_oracle.h"
+#include "svc/cache.h"
+#include "svc/graph_hash.h"
+#include "svc/registry.h"
+#include "svc/scheduler.h"
+#include "svc/solver.h"
 #include "workload/datasets.h"
 
 #endif  // QPLEX_QPLEX_H_

@@ -1,0 +1,50 @@
+#include "svc/cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace qplex::svc {
+
+InstanceCache::InstanceCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<SolveResponse> InstanceCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    registry.GetCounter("svc.cache.misses").Increment();
+    return std::nullopt;
+  }
+  recency_.splice(recency_.begin(), recency_, it->second.recency);
+  registry.GetCounter("svc.cache.hits").Increment();
+  return it->second.response;
+}
+
+void InstanceCache::Insert(const std::string& key,
+                           const SolveResponse& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.response = response;
+    recency_.splice(recency_.begin(), recency_, it->second.recency);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(recency_.back());
+    recency_.pop_back();
+    registry.GetCounter("svc.cache.evictions").Increment();
+  }
+  recency_.push_front(key);
+  entries_.emplace(key, Entry{response, recency_.begin()});
+  registry.GetCounter("svc.cache.insertions").Increment();
+}
+
+std::size_t InstanceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace qplex::svc

@@ -1,0 +1,59 @@
+#ifndef QPLEX_SVC_CACHE_H_
+#define QPLEX_SVC_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "svc/solver.h"
+
+namespace qplex::svc {
+
+/// Thread-safe LRU cache of completed solve responses, keyed by
+/// svc::CacheKey (canonical graph hash + k + seed + backend + options).
+/// Every Lookup/Insert bumps the svc.cache.{hits,misses,insertions,
+/// evictions} counters in the global metrics registry, so cache
+/// effectiveness shows up in run reports without extra plumbing.
+///
+/// Only responses worth replaying belong here: the scheduler inserts a
+/// response iff its status is OK and the backend ran to completion
+/// (deadline-truncated incumbents are *not* cached — a later caller with a
+/// bigger budget deserves a real run).
+class InstanceCache {
+ public:
+  explicit InstanceCache(std::size_t capacity = 256);
+
+  InstanceCache(const InstanceCache&) = delete;
+  InstanceCache& operator=(const InstanceCache&) = delete;
+
+  /// Returns the cached response (most-recently-used position refreshed) or
+  /// nullopt. Counts a hit or a miss.
+  std::optional<SolveResponse> Lookup(const std::string& key);
+
+  /// Stores `response` under `key`, evicting the least-recently-used entry
+  /// when full. Re-inserting an existing key refreshes its value and
+  /// recency.
+  void Insert(const std::string& key, const SolveResponse& response);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    SolveResponse response;
+    std::list<std::string>::iterator recency;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::string> recency_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace qplex::svc
+
+#endif  // QPLEX_SVC_CACHE_H_

@@ -1,0 +1,57 @@
+#include "svc/graph_hash.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qplex::svc {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void MixUint64(std::uint64_t value, std::uint64_t* hash) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *hash ^= (value >> (8 * byte)) & 0xFF;
+    *hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t CanonicalGraphHash(const Graph& graph) {
+  std::vector<std::pair<Vertex, Vertex>> edges = graph.Edges();
+  for (auto& [u, v] : edges) {
+    if (u > v) {
+      std::swap(u, v);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::uint64_t hash = kFnvOffset;
+  MixUint64(static_cast<std::uint64_t>(graph.num_vertices()), &hash);
+  for (const auto& [u, v] : edges) {
+    MixUint64((static_cast<std::uint64_t>(u) << 32) |
+                  static_cast<std::uint32_t>(v),
+              &hash);
+  }
+  return hash;
+}
+
+std::string CacheKey(const SolveRequest& request, std::string_view backend) {
+  std::string key;
+  key += "g=" + std::to_string(CanonicalGraphHash(request.graph));
+  key += ";k=" + std::to_string(request.k);
+  key += ";seed=" + std::to_string(request.seed);
+  key += ";backend=";
+  key += backend;
+  // request.options is a std::map, so iteration order (and therefore the
+  // fingerprint) is independent of insertion order.
+  for (const auto& [name, value] : request.options) {
+    key += ";" + name + "=" + value;
+  }
+  return key;
+}
+
+}  // namespace qplex::svc

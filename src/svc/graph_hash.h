@@ -1,0 +1,33 @@
+#ifndef QPLEX_SVC_GRAPH_HASH_H_
+#define QPLEX_SVC_GRAPH_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.h"
+#include "svc/solver.h"
+
+namespace qplex::svc {
+
+/// Canonical *labelled* graph hash: a 64-bit FNV-1a digest of the vertex
+/// count followed by the sorted, deduplicated, (min, max)-normalized edge
+/// list. Two graphs hash identically iff they have the same vertex count and
+/// the same edge *set*, regardless of the order edges were added or which
+/// text format they were parsed from.
+///
+/// Deliberately NOT isomorphism-invariant: relabeling vertices changes the
+/// hash. Canonical labelling is graph-isomorphism-hard, and the result cache
+/// must anyway distinguish relabelings because solvers report solutions in
+/// the caller's vertex ids.
+std::uint64_t CanonicalGraphHash(const Graph& graph);
+
+/// The instance-cache key for running `backend` on `request`: the canonical
+/// graph hash plus every request field that can change the answer
+/// (k, seed, backend, and the full options map). The deadline is excluded —
+/// a cached completed answer is valid under any budget.
+std::string CacheKey(const SolveRequest& request, std::string_view backend);
+
+}  // namespace qplex::svc
+
+#endif  // QPLEX_SVC_GRAPH_HASH_H_

@@ -1,0 +1,41 @@
+#include "svc/registry.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace qplex::svc {
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  QPLEX_CHECK(solver != nullptr) << "null solver registration";
+  std::string name(solver->name());
+  const auto [it, inserted] = solvers_.emplace(std::move(name),
+                                               std::move(solver));
+  if (!inserted) {
+    return Status::InvalidArgument("backend already registered: " + it->first);
+  }
+  return Status::Ok();
+}
+
+const Solver* SolverRegistry::Get(std::string_view name) const {
+  const auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const auto& [name, solver] : solvers_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+SolverRegistry MakeBuiltinRegistry() {
+  SolverRegistry registry;
+  const Status status = RegisterBuiltinBackends(&registry);
+  QPLEX_CHECK(status.ok()) << status.ToString();
+  return registry;
+}
+
+}  // namespace qplex::svc

@@ -1,0 +1,324 @@
+#include "svc/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/graph_hash.h"
+
+namespace qplex::svc {
+namespace {
+
+/// Joins backend names for event payloads ("bs+enum+sa").
+std::string JoinBackends(const std::vector<std::string>& backends) {
+  std::string joined;
+  for (const std::string& name : backends) {
+    if (!joined.empty()) {
+      joined += "+";
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+std::string MembersToString(const VertexList& members) {
+  std::string joined;
+  for (Vertex v : members) {
+    if (!joined.empty()) {
+      joined += " ";
+    }
+    joined += std::to_string(v);
+  }
+  return joined;
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(const SolverRegistry* registry,
+                           JobSchedulerOptions options)
+    : registry_(registry),
+      options_(options),
+      pool_(std::max(1, options.num_workers)) {
+  QPLEX_CHECK(registry_ != nullptr) << "scheduler needs a registry";
+  options_.num_workers = std::max(1, options_.num_workers);
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<InstanceCache>(options_.cache_capacity);
+  }
+  // One long-lived WorkerLoop task per worker, hosted on the shared
+  // ThreadPool primitive. The dispatcher thread exists only to be the
+  // batch's blocking caller; it participates in the batch like any worker.
+  dispatcher_ = std::thread(
+      [this] { pool_.Run(options_.num_workers, [this](int) { WorkerLoop(); }); });
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+Result<JobId> JobScheduler::Submit(SolveRequest request) {
+  std::vector<std::string> backends{request.backend};
+  return Enqueue(std::move(request), std::move(backends));
+}
+
+Result<JobId> JobScheduler::SubmitPortfolio(SolveRequest request,
+                                            std::vector<std::string> backends) {
+  return Enqueue(std::move(request), std::move(backends));
+}
+
+Result<JobId> JobScheduler::Enqueue(SolveRequest request,
+                                    std::vector<std::string> backends) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (backends.empty()) {
+    return Status::InvalidArgument("job needs at least one backend");
+  }
+  for (const std::string& name : backends) {
+    if (registry_->Get(name) == nullptr) {
+      return Status::InvalidArgument("unknown backend: " + name);
+    }
+  }
+  auto job = std::make_shared<Job>();
+  const std::size_t num_racers = backends.size();
+  job->request = std::move(request);
+  job->backends = std::move(backends);
+  // The deadline clock starts at submission, so queue wait counts against
+  // the caller's budget — a job stuck behind a full queue times out rather
+  // than running arbitrarily late.
+  job->deadline = job->request.deadline_seconds > 0
+                      ? Deadline::After(job->request.deadline_seconds)
+                      : Deadline::Infinite();
+  job->remaining = static_cast<int>(num_racers);
+  job->responses.resize(num_racers);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("scheduler is shutting down");
+    }
+    if (queue_.size() + num_racers > options_.queue_capacity) {
+      registry.GetCounter("svc.jobs.rejected").Increment();
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.queue_capacity) + "); retry after a Wait");
+    }
+    job->id = next_id_++;
+    jobs_.emplace(job->id, job);
+    for (std::size_t slot = 0; slot < num_racers; ++slot) {
+      queue_.push_back(SubTask{job, static_cast<int>(slot)});
+    }
+  }
+  work_cv_.notify_all();
+  registry.GetCounter("svc.jobs.submitted").Increment();
+  if (num_racers > 1) {
+    registry.GetCounter("svc.portfolio.jobs").Increment();
+  }
+  return job->id;
+}
+
+SolveResponse JobScheduler::Wait(JobId id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      SolveResponse response;
+      response.status = Status::InvalidArgument(
+          "unknown or already-consumed job id " + std::to_string(id));
+      return response;
+    }
+    job = it->second;
+    jobs_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] { return job->done; });
+  return std::move(job->merged);
+}
+
+void JobScheduler::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) {
+    it->second->cancel.Cancel();
+  }
+}
+
+std::size_t JobScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void JobScheduler::WorkerLoop() {
+  while (true) {
+    SubTask task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown requested and the queue is drained
+      }
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    Execute(task);
+  }
+}
+
+void JobScheduler::Execute(const SubTask& task) {
+  Job& job = *task.job;
+  const std::string& backend = job.backends[task.slot];
+
+  bool emit_start = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    if (!job.started) {
+      job.started = true;
+      emit_start = true;
+    }
+  }
+  if (emit_start && obs::EventsEnabled()) {
+    obs::EmitEvent(obs::EventLevel::kInfo, "svc", "job_start",
+                   {{"job", static_cast<std::int64_t>(job.id)},
+                    {"label", job.request.label},
+                    {"backends", JoinBackends(job.backends)},
+                    {"k", job.request.k},
+                    {"num_vertices", job.request.graph.num_vertices()}});
+  }
+
+  SolveResponse response = RunBackend(job, backend);
+
+  bool last = false;
+  SolveResponse merged_copy;
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    job.responses[task.slot] = std::move(response);
+    if (job.responses[task.slot].provably_optimal && job.backends.size() > 1) {
+      // An exact racer finished: the remaining racers can only re-derive the
+      // same optimum, so stop paying for them.
+      job.cancel.Cancel();
+    }
+    last = --job.remaining == 0;
+    if (last) {
+      MergeResponses(&job);
+      job.done = true;
+      merged_copy = job.merged;
+    }
+  }
+  if (!last) {
+    return;
+  }
+  // Account and emit BEFORE waking waiters: a waiter may capture the metrics
+  // registry (or emit batch_end) the moment Wait() returns, and the final
+  // job's counter tick and job_end event must already be visible then.
+  obs::MetricsRegistry::Global().GetCounter("svc.jobs.completed").Increment();
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(
+        obs::EventLevel::kInfo, "svc", "job_end",
+        {{"job", static_cast<std::int64_t>(job.id)},
+         {"label", job.request.label},
+         {"backend", merged_copy.backend},
+         {"status", std::string(StatusCodeName(merged_copy.status.code()))},
+         {"size", merged_copy.solution.size},
+         {"members", MembersToString(merged_copy.solution.members)},
+         {"provably_optimal", merged_copy.provably_optimal},
+         {"cache_hit", merged_copy.metrics.cache_hit},
+         {"queue_seconds", merged_copy.metrics.queue_seconds},
+         {"wall_seconds", merged_copy.metrics.wall_seconds}});
+  }
+  job.done_cv.notify_all();
+}
+
+SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::TraceSpan span("svc.job");
+
+  SolveResponse response;
+  response.backend = backend;
+  response.metrics.queue_seconds = job.submitted.ElapsedSeconds();
+  registry.GetHistogram("svc.queue_wait_seconds")
+      .Record(response.metrics.queue_seconds);
+  registry.GetCounter("svc.backend." + backend + ".jobs").Increment();
+
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CacheKey(job.request, backend);
+    if (std::optional<SolveResponse> cached = cache_->Lookup(key)) {
+      const double queue_seconds = response.metrics.queue_seconds;
+      response = *std::move(cached);
+      response.metrics.queue_seconds = queue_seconds;
+      response.metrics.wall_seconds = 0;
+      response.metrics.cache_hit = true;
+      return response;
+    }
+  }
+
+  if (StopRequested(job.deadline, &job.cancel)) {
+    response.status = Status::DeadlineExceeded(
+        "job budget exhausted before backend " + backend + " started");
+    registry.GetCounter("svc.deadline_hits").Increment();
+    return response;
+  }
+
+  SolveContext context;
+  const double remaining = job.deadline.RemainingSeconds();
+  context.budget_seconds =
+      std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
+  context.cancel = &job.cancel;
+
+  Stopwatch watch;
+  Result<SolveOutcome> outcome =
+      registry_->Get(backend)->Solve(job.request, context);
+  response.metrics.wall_seconds = watch.ElapsedSeconds();
+  registry.GetHistogram("svc.job_wall_seconds")
+      .Record(response.metrics.wall_seconds);
+
+  if (!outcome.ok()) {
+    response.status = outcome.status();
+    registry.GetCounter("svc.backend." + backend + ".failures").Increment();
+    return response;
+  }
+  SolveOutcome& result = outcome.value();
+  response.solution = std::move(result.solution);
+  response.provably_optimal = result.provably_optimal;
+  if (!result.completed) {
+    response.status = Status::DeadlineExceeded(
+        "backend " + backend +
+        " stopped early (deadline or cancellation); incumbent attached");
+    registry.GetCounter("svc.deadline_hits").Increment();
+  } else if (cache_ != nullptr) {
+    // Only completed OK answers are worth replaying; truncated incumbents
+    // would poison later, better-budgeted requests.
+    cache_->Insert(key, response);
+  }
+  return response;
+}
+
+void JobScheduler::MergeResponses(Job* job) {
+  // Winner rule, deterministic given the per-slot responses:
+  //   1. proven-optimal OK answers first,
+  //   2. then larger plexes (a deadline incumbent can still win on size),
+  //   3. then OK status over truncated status,
+  //   4. then earliest position in the submitted backend list.
+  const auto rank = [](const SolveResponse& r, int slot) {
+    return std::make_tuple(r.status.ok() && r.provably_optimal,
+                           r.solution.size, r.status.ok(), -slot);
+  };
+  int best = 0;
+  for (int slot = 1; slot < static_cast<int>(job->responses.size()); ++slot) {
+    if (rank(job->responses[slot], slot) > rank(job->responses[best], best)) {
+      best = slot;
+    }
+  }
+  job->merged = std::move(job->responses[best]);
+}
+
+}  // namespace qplex::svc

@@ -1,0 +1,151 @@
+#ifndef QPLEX_SVC_SCHEDULER_H_
+#define QPLEX_SVC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "svc/cache.h"
+#include "svc/registry.h"
+#include "svc/solver.h"
+
+namespace qplex::svc {
+
+/// Scheduler configuration.
+struct JobSchedulerOptions {
+  /// Worker threads executing jobs (>= 1). Solvers that parallelize
+  /// internally (qmkp --threads) degrade gracefully: nested ParallelFor
+  /// calls inside a pool task run inline, so worker x solver threads never
+  /// oversubscribe.
+  int num_workers = 4;
+  /// Admission bound on queued backend executions (a portfolio job occupies
+  /// one slot per racer). Submissions beyond it are rejected with
+  /// kResourceExhausted — backpressure, not unbounded buffering.
+  std::size_t queue_capacity = 64;
+  /// Result cache toggle and size.
+  bool enable_cache = true;
+  std::size_t cache_capacity = 256;
+};
+
+using JobId = std::int64_t;
+
+/// Bounded multi-threaded job scheduler over a SolverRegistry, built on the
+/// shared ThreadPool primitive. Lifecycle of a job:
+///
+///   Submit/SubmitPortfolio  -> queued (deadline clock starts NOW)
+///   worker picks it up      -> cache lookup, then backend execution with
+///                              the remaining budget + the job's CancelToken
+///   last racer finishes     -> responses merged, waiters woken, job_end
+///                              event emitted
+///
+/// Portfolio jobs race several backends on the same instance; as soon as one
+/// racer returns a *provably optimal* answer the job's CancelToken fires and
+/// the remaining racers stop at their next poll. The merged winner is chosen
+/// by a deterministic rule — (provably optimal, size, backend list position)
+/// — so the reported *size* is reproducible; the member set follows the
+/// winning racer and may legitimately differ between timing-dependent races
+/// when several backends tie (see DESIGN.md section 9).
+///
+/// Every execution records svc.* metrics (queue wait, wall time, per-backend
+/// job/failure counters, cache hit/miss) and runs under an "svc.job" trace
+/// span.
+class JobScheduler {
+ public:
+  /// `registry` must outlive the scheduler.
+  explicit JobScheduler(const SolverRegistry* registry,
+                        JobSchedulerOptions options = {});
+
+  /// Drains queued jobs, then stops the workers. Jobs not Wait()ed on are
+  /// still executed (their responses are discarded).
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a single-backend job. Fails with kResourceExhausted when the
+  /// queue is at capacity (callers retry after draining) and
+  /// kInvalidArgument for an unknown backend or empty portfolio.
+  Result<JobId> Submit(SolveRequest request);
+
+  /// Enqueues one job racing every backend in `backends` (request.backend is
+  /// ignored). All racers share the job's deadline and CancelToken.
+  Result<JobId> SubmitPortfolio(SolveRequest request,
+                                std::vector<std::string> backends);
+
+  /// Blocks until the job completes and consumes its response; a second Wait
+  /// on the same id returns kInvalidArgument.
+  SolveResponse Wait(JobId id);
+
+  /// Requests cooperative cancellation; the job still completes through
+  /// Wait() with its incumbent.
+  void Cancel(JobId id);
+
+  /// Queued backend executions not yet picked up (diagnostic).
+  std::size_t QueueDepth() const;
+
+  int num_workers() const { return options_.num_workers; }
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    SolveRequest request;
+    std::vector<std::string> backends;
+    Deadline deadline = Deadline::Infinite();
+    Stopwatch submitted;
+    CancelToken cancel;
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int remaining = 0;
+    bool started = false;
+    bool done = false;
+    std::vector<SolveResponse> responses;
+    SolveResponse merged;
+  };
+
+  struct SubTask {
+    std::shared_ptr<Job> job;
+    int slot = 0;  ///< index into job->backends
+  };
+
+  Result<JobId> Enqueue(SolveRequest request,
+                        std::vector<std::string> backends);
+  void WorkerLoop();
+  void Execute(const SubTask& task);
+  /// Runs one backend (cache-aware); never blocks on other jobs.
+  SolveResponse RunBackend(Job& job, const std::string& backend);
+  /// Deterministic portfolio merge; called with job.mutex held after the
+  /// last racer finished.
+  static void MergeResponses(Job* job);
+
+  const SolverRegistry* registry_;
+  JobSchedulerOptions options_;
+  std::unique_ptr<InstanceCache> cache_;
+
+  ThreadPool pool_;
+  /// Runs pool_.Run with one long-lived WorkerLoop task per worker; joined
+  /// on shutdown.
+  std::thread dispatcher_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<SubTask> queue_;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace qplex::svc
+
+#endif  // QPLEX_SVC_SCHEDULER_H_

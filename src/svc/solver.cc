@@ -1,0 +1,50 @@
+#include "svc/solver.h"
+
+#include <charconv>
+
+namespace qplex::svc {
+namespace {
+
+template <typename T>
+Result<T> ParseNumber(std::string_view key, const std::string& value) {
+  T parsed{};
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end || value.empty()) {
+    return Status::InvalidArgument("bad value for option '" +
+                                   std::string(key) + "': '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<int> OptionInt(const SolveRequest& request, std::string_view key,
+                      int fallback) {
+  const auto it = request.options.find(std::string(key));
+  if (it == request.options.end()) {
+    return fallback;
+  }
+  return ParseNumber<int>(key, it->second);
+}
+
+Result<double> OptionDouble(const SolveRequest& request, std::string_view key,
+                            double fallback) {
+  const auto it = request.options.find(std::string(key));
+  if (it == request.options.end()) {
+    return fallback;
+  }
+  return ParseNumber<double>(key, it->second);
+}
+
+Result<std::string> OptionString(const SolveRequest& request,
+                                 std::string_view key, std::string fallback) {
+  const auto it = request.options.find(std::string(key));
+  if (it == request.options.end()) {
+    return fallback;
+  }
+  return it->second;
+}
+
+}  // namespace qplex::svc

@@ -253,5 +253,43 @@ TEST(SteepestDescentTest, ReachesLocalMinimum) {
   EXPECT_LE(model.Evaluate(sample), 0.0);
 }
 
+TEST(SimulatedAnnealerTest, CancellationStopsShotsEarly) {
+  SimulatedAnnealerOptions options;
+  options.shots = 1'000'000;
+  options.sweeps_per_shot = 100;
+  CancelToken cancel;
+  cancel.Cancel();  // pre-cancelled: polled in the shot loop
+  options.cancel = &cancel;
+  const AnnealResult result =
+      SimulatedAnnealer(options).Run(ToyModel()).value();
+  EXPECT_FALSE(result.completed);
+  EXPECT_LT(result.shots, options.shots);
+}
+
+TEST(SimulatedAnnealerTest, TimeLimitStopsShotsEarly) {
+  SimulatedAnnealerOptions options;
+  options.shots = 1'000'000;
+  options.sweeps_per_shot = 100;
+  options.time_limit_seconds = 1e-3;
+  const AnnealResult result =
+      SimulatedAnnealer(options).Run(ToyModel()).value();
+  EXPECT_FALSE(result.completed);
+  EXPECT_LT(result.shots, options.shots);
+}
+
+TEST(ParallelTemperingTest, CancellationStopsRoundsEarly) {
+  ParallelTemperingOptions options;
+  options.rounds = 1'000'000;
+  CancelToken cancel;
+  cancel.Cancel();
+  options.cancel = &cancel;
+  const AnnealResult result =
+      ParallelTempering(options).Run(ToyModel()).value();
+  EXPECT_FALSE(result.completed);
+  EXPECT_LT(result.sweeps,
+            static_cast<std::int64_t>(options.rounds) *
+                options.sweeps_per_round * options.num_replicas);
+}
+
 }  // namespace
 }  // namespace qplex

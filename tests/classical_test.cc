@@ -228,5 +228,45 @@ TEST(BsSolverTest, StatsPopulated) {
   EXPECT_TRUE(solver.stats().completed);
 }
 
+TEST(BsSolverTest, DeadlineStopsSearchWithValidIncumbent) {
+  // Large enough that branch-and-search cannot finish inside a microsecond;
+  // the deadline poll (every ~1k nodes) must stop it with completed=false
+  // while still returning a feasible incumbent.
+  const Graph graph = RandomGnm(64, 1000, 5).value();
+  BsSolverOptions options;
+  options.time_limit_seconds = 1e-6;
+  BsSolver solver(options);
+  const MkpSolution solution = solver.Solve(graph, 2).value();
+  EXPECT_FALSE(solver.stats().completed);
+  EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, 2));
+}
+
+TEST(GraspTest, CancellationStopsIterationsEarly) {
+  const Graph graph = RandomGnm(30, 120, 4).value();
+  CancelToken cancel;
+  cancel.Cancel();  // pre-cancelled: polled once per iteration
+  GraspOptions options;
+  options.iterations = 10'000'000;
+  options.cancel = &cancel;
+  GraspSolver solver(options);
+  const MkpSolution solution = solver.Solve(graph, 2).value();
+  EXPECT_FALSE(solver.stats().completed);
+  // The token is polled before any work: zero iterations, empty incumbent.
+  EXPECT_EQ(solver.stats().iterations_run, 0);
+  EXPECT_EQ(solution.size, 0);
+}
+
+TEST(GraspTest, TimeLimitStopsIterationsEarly) {
+  const Graph graph = RandomGnm(30, 120, 4).value();
+  GraspOptions options;
+  options.iterations = 10'000'000;
+  options.time_limit_seconds = 1e-3;
+  GraspSolver solver(options);
+  const MkpSolution solution = solver.Solve(graph, 2).value();
+  EXPECT_FALSE(solver.stats().completed);
+  EXPECT_LT(solver.stats().iterations_run, options.iterations);
+  EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, 2));
+}
+
 }  // namespace
 }  // namespace qplex

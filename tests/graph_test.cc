@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
 #include "graph/decomposition.h"
 #include "graph/generators.h"
@@ -325,6 +327,59 @@ TEST(IoTest, DimacsErrors) {
   EXPECT_FALSE(ParseDimacs("p edge 3 1\ne 0 1\n").ok());   // 0-based edge
   EXPECT_FALSE(ParseDimacs("p clique 3 1\n").ok());        // wrong kind
   EXPECT_TRUE(ParseDimacs("c hi\np edge 3 1\ne 1 2\n").ok());
+}
+
+TEST(IoTest, EdgeListRejectsSelfLoopsWithLineNumber) {
+  const Result<Graph> parsed = ParseEdgeList("4\n0 1\n2 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("self-loop"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(IoTest, EdgeListDeduplicatesRepeatedEdges) {
+  // The same edge in both orientations plus a literal repeat: one edge each,
+  // degrees unaffected by the noise.
+  const Graph graph = ParseEdgeList("4\n0 1\n1 0\n0 1\n2 3\n").value();
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.Degree(0), 1);
+  EXPECT_EQ(graph.Degree(1), 1);
+}
+
+TEST(IoTest, EdgeListReportsOutOfRangeLine) {
+  const Result<Graph> parsed = ParseEdgeList("3\n0 1\n0 7\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(IoTest, DimacsRejectsSelfLoopsWithLineNumber) {
+  const Result<Graph> parsed = ParseDimacs("p edge 3 2\ne 1 2\ne 3 3\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("self-loop"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(IoTest, DimacsDeduplicatesRepeatedEdges) {
+  const Graph graph =
+      ParseDimacs("p edge 3 4\ne 1 2\ne 2 1\ne 1 2\ne 1 3\n").value();
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.Degree(0), 2);
+}
+
+TEST(IoTest, LoadMalformedEdgeListFileFails) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "qplex_malformed.el";
+  {
+    std::ofstream out(path);
+    out << "5\n0 1\n3 3\n1 2\n";
+  }
+  const Result<Graph> loaded = LoadEdgeListFile(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("self-loop"), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 TEST(IoTest, LoadMissingFileFails) {

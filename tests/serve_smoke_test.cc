@@ -1,0 +1,302 @@
+// End-to-end smoke test of the qplex_serve batch front-end: a 22-job
+// mixed-backend JSONL batch must stream one parseable job_end event per job,
+// produce byte-identical solutions across repeated runs and across worker
+// counts (fixed seeds), short-circuit repeated instances through the result
+// cache, honour millisecond deadlines, and reject malformed job files with
+// exit code 2. The binary path is injected by CMake as QPLEX_SERVE_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace qplex {
+namespace {
+
+std::filesystem::path TempDir() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qplex_serve_smoke";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int RunBinary(const std::string& binary, const std::string& args,
+              const std::string& stdout_path = "",
+              const std::string& stderr_path = "") {
+  std::string command = binary + " " + args;
+  command += stdout_path.empty() ? " >/dev/null" : " >" + stdout_path;
+  command += stderr_path.empty() ? " 2>/dev/null" : " 2>" + stderr_path;
+  const int raw = std::system(command.c_str());
+#ifdef WIFEXITED
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+  return raw;
+#endif
+}
+
+int RunServe(const std::string& args, const std::string& stdout_path = "",
+             const std::string& stderr_path = "") {
+  return RunBinary(QPLEX_SERVE_PATH, args, stdout_path, stderr_path);
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Two K4 blocks joined by one edge; the maximum 2-plex is a K4 (size 4).
+const char* kTwoBlockGraph =
+    "{\"n\":8,\"edges\":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3],[3,4],[4,5],"
+    "[4,6],[5,6],[5,7],[6,7]]}";
+
+// C5 plus one chord; its maximum 2-plex has size 4.
+const char* kChordedCycleGraph =
+    "{\"n\":5,\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,0],[0,2]]}";
+
+/// Writes the ≥20-job mixed-backend batch exercised by the determinism runs.
+/// Jobs j17-j20 repeat earlier requests verbatim so the instance cache gets
+/// hits; pf-1/pf-2 are portfolio jobs whose winning *member set* may depend
+/// on race timing (size may not — both racers are exact on these instances).
+std::filesystem::path WriteMixedBatch() {
+  const std::filesystem::path path = TempDir() / "mixed_batch.jsonl";
+  std::ofstream out(path);
+  const std::string block = kTwoBlockGraph;
+  const std::string cycle = kChordedCycleGraph;
+  out << "# mixed-backend determinism batch (fixed seeds)\n"
+      << R"({"id":"j01","k":2,"backend":"bs","graph":)" << block << "}\n"
+      << R"({"id":"j02","k":2,"backend":"enum","graph":)" << block << "}\n"
+      << R"({"id":"j03","k":2,"backend":"grasp","seed":3,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j04","k":2,"backend":"grasp","seed":9,"graph":)" << cycle
+      << "}\n"
+      << R"({"id":"j05","k":2,"backend":"sa","seed":5,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j06","k":2,"backend":"sa","seed":7,"graph":)" << cycle
+      << "}\n"
+      << R"({"id":"j07","k":2,"backend":"pt","seed":2,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j08","k":2,"backend":"pia","seed":4,"graph":)" << cycle
+      << "}\n"
+      << R"({"id":"j09","k":2,"backend":"hybrid","seed":6,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j10","k":2,"backend":"qmkp","seed":3,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j11","k":2,"backend":"qtkp","seed":3,)"
+      << R"("options":{"oracle":"predicate","threshold":4},"graph":)" << block
+      << "}\n"
+      << R"({"id":"j12","k":2,"backend":"milp","graph":)" << cycle << "}\n"
+      << R"({"id":"j13","k":3,"backend":"bs","graph":)" << block << "}\n"
+      << R"({"id":"j14","k":3,"backend":"enum","graph":)" << cycle << "}\n"
+      << R"({"id":"j15","k":1,"backend":"bs","graph":)" << block << "}\n"
+      << R"({"id":"j16","k":2,"backend":"grasp","seed":11,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j17","k":2,"backend":"bs","graph":)" << block << "}\n"
+      << R"({"id":"j18","k":2,"backend":"enum","graph":)" << block << "}\n"
+      << R"({"id":"j19","k":2,"backend":"grasp","seed":3,"graph":)" << block
+      << "}\n"
+      << R"({"id":"j20","k":2,"backend":"sa","seed":5,"graph":)" << block
+      << "}\n"
+      << R"({"id":"pf-1","k":2,"backends":["bs","enum"],"graph":)" << block
+      << "}\n"
+      << R"({"id":"pf-2","k":2,"backends":["bs","enum"],"graph":)" << cycle
+      << "}\n";
+  return path;
+}
+
+struct JobEnd {
+  std::string status;
+  int size = 0;
+  std::string members;
+  bool cache_hit = false;
+};
+
+struct BatchRun {
+  std::map<std::string, JobEnd> jobs;
+  int job_end_lines = 0;
+  std::int64_t batch_jobs = -1;
+  std::int64_t batch_failed = -1;
+};
+
+/// Parses an event stream produced by `qplex_serve --events <file>`.
+BatchRun ParseEvents(const std::filesystem::path& events_path) {
+  BatchRun run;
+  std::istringstream lines(ReadFile(events_path));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') {
+      continue;
+    }
+    const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << " line: " << line;
+    if (!parsed.ok()) {
+      continue;
+    }
+    const obs::JsonValue& event = parsed.value();
+    const obs::JsonValue* name = event.Find("event");
+    if (name == nullptr) {
+      continue;
+    }
+    if (name->AsString() == "job_end") {
+      ++run.job_end_lines;
+      JobEnd job;
+      job.status = event.Find("status")->AsString();
+      job.size = static_cast<int>(event.Find("size")->AsInt());
+      job.members = event.Find("members")->AsString();
+      job.cache_hit = event.Find("cache_hit")->AsBool();
+      run.jobs[event.Find("label")->AsString()] = job;
+    } else if (name->AsString() == "batch_end") {
+      run.batch_jobs = event.Find("jobs")->AsInt();
+      run.batch_failed = event.Find("failed")->AsInt();
+    }
+  }
+  return run;
+}
+
+BatchRun RunMixedBatch(const std::filesystem::path& jobs, int workers,
+                       const std::string& tag) {
+  const std::filesystem::path events = TempDir() / ("events_" + tag + ".jsonl");
+  const int exit_code =
+      RunServe("--jobs " + jobs.string() + " --workers " +
+               std::to_string(workers) + " --events " + events.string());
+  EXPECT_EQ(exit_code, 0) << tag;
+  return ParseEvents(events);
+}
+
+TEST(ServeSmokeTest, MixedBatchIsDeterministicAcrossRunsAndWorkerCounts) {
+  const std::filesystem::path jobs = WriteMixedBatch();
+  const BatchRun serial = RunMixedBatch(jobs, 1, "w1");
+  const BatchRun parallel = RunMixedBatch(jobs, 4, "w4a");
+  const BatchRun repeat = RunMixedBatch(jobs, 4, "w4b");
+
+  for (const BatchRun* run : {&serial, &parallel, &repeat}) {
+    EXPECT_GE(run->job_end_lines, 22);
+    EXPECT_EQ(run->batch_jobs, 22);
+    EXPECT_EQ(run->batch_failed, 0);
+    for (const auto& [label, job] : run->jobs) {
+      EXPECT_EQ(job.status, "OK") << label;
+    }
+  }
+
+  ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+  ASSERT_EQ(serial.jobs.size(), repeat.jobs.size());
+  for (const auto& [label, job] : serial.jobs) {
+    ASSERT_TRUE(parallel.jobs.count(label)) << label;
+    ASSERT_TRUE(repeat.jobs.count(label)) << label;
+    // Portfolio winners are compared by size only: both racers are exact on
+    // these instances, but which one reports first depends on race timing.
+    EXPECT_EQ(job.size, parallel.jobs.at(label).size) << label;
+    EXPECT_EQ(job.size, repeat.jobs.at(label).size) << label;
+    if (label.rfind("pf-", 0) != 0) {
+      EXPECT_EQ(job.members, parallel.jobs.at(label).members) << label;
+      EXPECT_EQ(job.members, repeat.jobs.at(label).members) << label;
+    }
+  }
+
+  // Known optima on the fixture graphs.
+  EXPECT_EQ(serial.jobs.at("j01").size, 4);   // bs, two-K4 block
+  EXPECT_EQ(serial.jobs.at("j02").size, 4);   // enum agrees
+  EXPECT_EQ(serial.jobs.at("j12").size, 4);   // milp, chorded C5
+  EXPECT_EQ(serial.jobs.at("pf-1").size, 4);  // portfolio
+
+  // Jobs j17-j20 repeat j01/j02/j03/j05 verbatim: the cache must have served
+  // at least one of them without re-solving.
+  int cache_hits = 0;
+  for (const char* label : {"j17", "j18", "j19", "j20"}) {
+    cache_hits += serial.jobs.at(label).cache_hit ? 1 : 0;
+  }
+  EXPECT_GE(cache_hits, 1);
+}
+
+TEST(ServeSmokeTest, CacheOffForcesEveryJobToExecute) {
+  const std::filesystem::path jobs = WriteMixedBatch();
+  const std::filesystem::path events = TempDir() / "events_nocache.jsonl";
+  const int exit_code = RunServe("--jobs " + jobs.string() +
+                                 " --workers 2 --cache off --events " +
+                                 events.string());
+  ASSERT_EQ(exit_code, 0);
+  const BatchRun run = ParseEvents(events);
+  EXPECT_EQ(run.batch_failed, 0);
+  for (const auto& [label, job] : run.jobs) {
+    EXPECT_FALSE(job.cache_hit) << label;
+  }
+}
+
+TEST(ServeSmokeTest, MillisecondDeadlineSurfacesAsDeadlineExceeded) {
+  // A 26-vertex circulant graph: full enumeration scans 2^26 subsets, far
+  // beyond a 1 ms budget, so the job must end DeadlineExceeded (and the
+  // batch still exits 0 — per-job failures are data, not infra errors).
+  const std::filesystem::path jobs = TempDir() / "deadline_batch.jsonl";
+  {
+    std::ofstream out(jobs);
+    out << R"({"id":"slow","k":2,"backend":"enum","deadline_ms":1,)"
+        << R"("graph":{"n":26,"edges":[)";
+    bool first = true;
+    for (int v = 0; v < 26; ++v) {
+      for (int step : {1, 2, 3}) {
+        const int u = (v + step) % 26;
+        out << (first ? "" : ",") << "[" << v << "," << u << "]";
+        first = false;
+      }
+    }
+    out << "]}}\n";
+  }
+  const std::filesystem::path events = TempDir() / "events_deadline.jsonl";
+  const int exit_code =
+      RunServe("--jobs " + jobs.string() + " --events " + events.string());
+  ASSERT_EQ(exit_code, 0);
+  const BatchRun run = ParseEvents(events);
+  ASSERT_TRUE(run.jobs.count("slow"));
+  EXPECT_EQ(run.jobs.at("slow").status, "DeadlineExceeded");
+  EXPECT_EQ(run.batch_failed, 1);
+}
+
+TEST(ServeSmokeTest, MetricsJsonCarriesServiceCounters) {
+  const std::filesystem::path jobs = WriteMixedBatch();
+  const std::filesystem::path report = TempDir() / "serve_report.json";
+  const int exit_code = RunServe("--jobs " + jobs.string() +
+                                 " --metrics-json " + report.string());
+  ASSERT_EQ(exit_code, 0);
+  const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(ReadFile(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue& json = parsed.value();
+  EXPECT_EQ(json.Find("report")->AsString(), "qplex_serve");
+  EXPECT_EQ(json.Find("meta")->Find("jobs")->AsInt(), 22);
+  EXPECT_EQ(json.Find("meta")->Find("failed")->AsInt(), 0);
+  const obs::JsonValue* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("svc.jobs.submitted"), nullptr);
+  EXPECT_EQ(counters->Find("svc.jobs.submitted")->AsInt(), 22);
+  ASSERT_NE(counters->Find("svc.jobs.completed"), nullptr);
+  EXPECT_EQ(counters->Find("svc.jobs.completed")->AsInt(), 22);
+  ASSERT_NE(counters->Find("svc.cache.misses"), nullptr);
+  EXPECT_GE(counters->Find("svc.cache.misses")->AsInt(), 1);
+}
+
+TEST(ServeSmokeTest, MalformedInputsExitTwo) {
+  const std::filesystem::path bad_json = TempDir() / "bad.jsonl";
+  std::ofstream(bad_json) << "{\"id\":\"x\",\"k\":2\n";  // truncated JSON
+  EXPECT_EQ(RunServe("--jobs " + bad_json.string()), 2);
+
+  const std::filesystem::path bad_backend = TempDir() / "bad_backend.jsonl";
+  std::ofstream(bad_backend) << R"({"id":"x","k":2,"backend":"nope",)"
+                             << R"("graph":{"n":2,"edges":[[0,1]]}})" << "\n";
+  EXPECT_EQ(RunServe("--jobs " + bad_backend.string()), 2);
+
+  EXPECT_EQ(RunServe("--jobs /nonexistent/batch.jsonl"), 2);
+  EXPECT_EQ(RunServe(""), 2);                    // --jobs is required
+  EXPECT_EQ(RunServe("--jobs x --workers 0"), 2);
+  EXPECT_EQ(RunServe("--jobs x --workers junk"), 2);
+  EXPECT_EQ(RunServe("--jobs x --cache maybe"), 2);
+}
+
+}  // namespace
+}  // namespace qplex

@@ -1,0 +1,392 @@
+// Tests of the solver service layer: canonical graph hashing, the LRU
+// instance cache and its counters, the backend registry, and the bounded
+// job scheduler (determinism across worker counts, deadline promptness,
+// cooperative cancellation, portfolio racing, backpressure).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classical/bs_solver.h"
+#include "classical/exact.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "obs/metrics.h"
+#include "svc/cache.h"
+#include "svc/graph_hash.h"
+#include "svc/registry.h"
+#include "svc/scheduler.h"
+#include "svc/solver.h"
+
+namespace qplex::svc {
+namespace {
+
+Graph TwoBlockGraph() {
+  // Two K4 blocks joined by one edge; the maximum 2-plex is a K4.
+  return ParseEdgeList(
+             "8\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n4 5\n4 6\n5 6\n5 7\n6 "
+             "7\n")
+      .value();
+}
+
+std::int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).Get();
+}
+
+TEST(GraphHashTest, EdgeOrderAndFormatDoNotChangeHash) {
+  const Graph a = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}}).value();
+  const Graph b = MakeGraph(4, {{2, 3}, {1, 0}, {1, 2}}).value();  // permuted
+  const Graph c = ParseEdgeList("4\n1 2\n0 1\n2 3\n").value();
+  const Graph d = ParseDimacs("p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n").value();
+  EXPECT_EQ(CanonicalGraphHash(a), CanonicalGraphHash(b));
+  EXPECT_EQ(CanonicalGraphHash(a), CanonicalGraphHash(c));
+  EXPECT_EQ(CanonicalGraphHash(a), CanonicalGraphHash(d));
+}
+
+TEST(GraphHashTest, IsomorphicRelabelingHashesDifferently) {
+  // The hash is a *labelled* digest by design (see graph_hash.h): the path
+  // 0-1-2 and its relabeling 0-2-1 are isomorphic but hash differently,
+  // because cached solutions are reported in the caller's vertex ids.
+  const Graph path = MakeGraph(3, {{0, 1}, {1, 2}}).value();
+  const Graph relabeled = MakeGraph(3, {{0, 2}, {2, 1}}).value();
+  EXPECT_NE(CanonicalGraphHash(path), CanonicalGraphHash(relabeled));
+}
+
+TEST(GraphHashTest, VertexCountMatters) {
+  const Graph small = MakeGraph(3, {{0, 1}}).value();
+  const Graph padded = MakeGraph(4, {{0, 1}}).value();
+  EXPECT_NE(CanonicalGraphHash(small), CanonicalGraphHash(padded));
+}
+
+TEST(GraphHashTest, CacheKeyCoversRequestFields) {
+  SolveRequest request;
+  request.graph = TwoBlockGraph();
+  request.k = 2;
+  request.seed = 1;
+  const std::string base = CacheKey(request, "bs");
+
+  SolveRequest other = request;
+  other.k = 3;
+  EXPECT_NE(CacheKey(other, "bs"), base);
+  other = request;
+  other.seed = 2;
+  EXPECT_NE(CacheKey(other, "bs"), base);
+  other = request;
+  other.options["shots"] = "50";
+  EXPECT_NE(CacheKey(other, "bs"), base);
+  EXPECT_NE(CacheKey(request, "enum"), base);
+
+  // Deadline and label do NOT affect the key: a cached completed answer is
+  // valid under any budget.
+  other = request;
+  other.deadline_seconds = 5;
+  other.label = "renamed";
+  EXPECT_EQ(CacheKey(other, "bs"), base);
+}
+
+TEST(InstanceCacheTest, HitMissAndCountersMatch) {
+  obs::MetricsRegistry::Global().Reset();
+  InstanceCache cache(8);
+  SolveResponse response;
+  response.solution.size = 4;
+  response.backend = "bs";
+
+  EXPECT_FALSE(cache.Lookup("key-a").has_value());
+  cache.Insert("key-a", response);
+  const std::optional<SolveResponse> hit = cache.Lookup("key-a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.size, 4);
+  EXPECT_EQ(hit->backend, "bs");
+
+  EXPECT_EQ(CounterValue("svc.cache.misses"), 1);
+  EXPECT_EQ(CounterValue("svc.cache.hits"), 1);
+  EXPECT_EQ(CounterValue("svc.cache.insertions"), 1);
+}
+
+TEST(InstanceCacheTest, LruEviction) {
+  obs::MetricsRegistry::Global().Reset();
+  InstanceCache cache(2);
+  SolveResponse response;
+  cache.Insert("a", response);
+  cache.Insert("b", response);
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh a; b is now LRU
+  cache.Insert("c", response);                 // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(CounterValue("svc.cache.evictions"), 1);
+}
+
+TEST(RegistryTest, BuiltinBackendsRegistered) {
+  const SolverRegistry registry = MakeBuiltinRegistry();
+  const std::vector<std::string> expected = {"bs",  "enum", "grasp", "hybrid",
+                                             "milp", "pia",  "pt",    "qmkp",
+                                             "qtkp", "sa"};
+  EXPECT_EQ(registry.Names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_NE(registry.Get(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Get("nope"), nullptr);
+}
+
+TEST(RegistryTest, DirectBackendSolveMatchesGroundTruth) {
+  const SolverRegistry registry = MakeBuiltinRegistry();
+  SolveRequest request;
+  request.graph = TwoBlockGraph();
+  request.k = 2;
+  const SolveContext context;
+  for (const char* backend : {"bs", "enum"}) {
+    const Result<SolveOutcome> outcome =
+        registry.Get(backend)->Solve(request, context);
+    ASSERT_TRUE(outcome.ok()) << backend << ": " << outcome.status();
+    EXPECT_EQ(outcome.value().solution.size, 4) << backend;
+    EXPECT_TRUE(outcome.value().completed) << backend;
+    EXPECT_TRUE(outcome.value().provably_optimal) << backend;
+  }
+}
+
+TEST(RegistryTest, MalformedOptionFailsTheJob) {
+  const SolverRegistry registry = MakeBuiltinRegistry();
+  SolveRequest request;
+  request.graph = TwoBlockGraph();
+  request.k = 2;
+  request.backend = "grasp";
+  request.options["iterations"] = "not-a-number";
+  const Result<SolveOutcome> outcome =
+      registry.Get("grasp")->Solve(request, SolveContext{});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : registry_(MakeBuiltinRegistry()) {}
+
+  SolveRequest Request(const std::string& backend, std::uint64_t seed = 1) {
+    SolveRequest request;
+    request.graph = TwoBlockGraph();
+    request.k = 2;
+    request.backend = backend;
+    request.seed = seed;
+    return request;
+  }
+
+  SolverRegistry registry_;
+};
+
+TEST_F(SchedulerTest, SingleJobSolvesToOptimum) {
+  JobScheduler scheduler(&registry_);
+  const Result<JobId> id = scheduler.Submit(Request("bs"));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.solution.size, 4);
+  EXPECT_TRUE(response.provably_optimal);
+  EXPECT_EQ(response.backend, "bs");
+}
+
+TEST_F(SchedulerTest, UnknownBackendRejectedAtSubmit) {
+  JobScheduler scheduler(&registry_);
+  const Result<JobId> id = scheduler.Submit(Request("nope"));
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, WaitOnUnknownIdFails) {
+  JobScheduler scheduler(&registry_);
+  const SolveResponse response = scheduler.Wait(12345);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, DeterministicAcrossWorkerCounts) {
+  // A mixed-backend batch must produce identical solutions at any worker
+  // count — the core service determinism contract.
+  const std::vector<std::pair<std::string, std::uint64_t>> batch = {
+      {"bs", 1},  {"enum", 1}, {"grasp", 3}, {"grasp", 9},
+      {"sa", 5},  {"sa", 7},   {"pt", 2},    {"hybrid", 4},
+  };
+  auto run_batch = [&](int workers) {
+    JobSchedulerOptions options;
+    options.num_workers = workers;
+    options.enable_cache = false;  // force every job to actually execute
+    JobScheduler scheduler(&registry_, options);
+    std::vector<JobId> ids;
+    for (const auto& [backend, seed] : batch) {
+      const Result<JobId> id = scheduler.Submit(Request(backend, seed));
+      EXPECT_TRUE(id.ok()) << id.status();
+      ids.push_back(id.value());
+    }
+    std::vector<VertexList> solutions;
+    for (const JobId id : ids) {
+      const SolveResponse response = scheduler.Wait(id);
+      EXPECT_TRUE(response.status.ok()) << response.status;
+      solutions.push_back(response.solution.members);
+    }
+    return solutions;
+  };
+  const std::vector<VertexList> serial = run_batch(1);
+  const std::vector<VertexList> parallel4 = run_batch(4);
+  const std::vector<VertexList> parallel8 = run_batch(8);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel8);
+}
+
+TEST_F(SchedulerTest, MillisecondDeadlineReturnsDeadlineExceededPromptly) {
+  // n = 26 enumeration scans 2^26 masks — seconds of work — but the 1 ms
+  // deadline must surface within the scheduler's polling granularity.
+  JobScheduler scheduler(&registry_);
+  SolveRequest request;
+  request.graph = RandomGnm(26, 120, 7).value();
+  request.k = 2;
+  request.backend = "enum";
+  request.deadline_seconds = 0.001;
+  Stopwatch watch;
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  // Generous CI bound: prompt means "milliseconds", not "after the scan".
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+TEST_F(SchedulerTest, CancelStopsARunningJob) {
+  JobScheduler scheduler(&registry_);
+  SolveRequest request;
+  request.graph = RandomGnm(48, 400, 11).value();
+  request.k = 2;
+  request.backend = "grasp";
+  request.options["iterations"] = "100000000";  // minutes if uncancelled
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler.Cancel(id.value());
+  const SolveResponse response = scheduler.Wait(id.value());
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  // The incumbent at cancellation time is still attached.
+  EXPECT_GE(response.solution.size, 1);
+}
+
+TEST_F(SchedulerTest, PortfolioPicksProvablyOptimalWinnerAndCancelsLosers) {
+  obs::MetricsRegistry::Global().Reset();
+  JobSchedulerOptions options;
+  options.num_workers = 2;
+  JobScheduler scheduler(&registry_, options);
+  SolveRequest request;
+  request.graph = TwoBlockGraph();
+  request.k = 2;
+  // bs proves the optimum in microseconds; the grasp racer is configured to
+  // grind for minutes unless the portfolio cancellation reaches it.
+  request.options["iterations"] = "100000000";
+  const Result<JobId> id =
+      scheduler.SubmitPortfolio(std::move(request), {"bs", "grasp"});
+  ASSERT_TRUE(id.ok()) << id.status();
+  Stopwatch watch;
+  const SolveResponse response = scheduler.Wait(id.value());
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.backend, "bs");
+  EXPECT_TRUE(response.provably_optimal);
+  EXPECT_EQ(response.solution.size, 4);
+  EXPECT_LT(watch.ElapsedSeconds(), 30.0);
+  EXPECT_EQ(CounterValue("svc.portfolio.jobs"), 1);
+}
+
+TEST_F(SchedulerTest, CacheHitShortCircuitsRepeatedJobs) {
+  obs::MetricsRegistry::Global().Reset();
+  JobScheduler scheduler(&registry_);
+  const Result<JobId> first = scheduler.Submit(Request("bs"));
+  ASSERT_TRUE(first.ok());
+  const SolveResponse cold = scheduler.Wait(first.value());
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.metrics.cache_hit);
+
+  const Result<JobId> second = scheduler.Submit(Request("bs"));
+  ASSERT_TRUE(second.ok());
+  const SolveResponse warm = scheduler.Wait(second.value());
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.metrics.cache_hit);
+  EXPECT_EQ(warm.solution.members, cold.solution.members);
+  EXPECT_EQ(warm.metrics.wall_seconds, 0);
+
+  EXPECT_EQ(CounterValue("svc.cache.hits"), 1);
+  EXPECT_EQ(CounterValue("svc.cache.misses"), 1);
+  EXPECT_EQ(CounterValue("svc.cache.insertions"), 1);
+}
+
+TEST_F(SchedulerTest, CacheDisabledNeverHits) {
+  obs::MetricsRegistry::Global().Reset();
+  JobSchedulerOptions options;
+  options.enable_cache = false;
+  JobScheduler scheduler(&registry_, options);
+  for (int round = 0; round < 2; ++round) {
+    const Result<JobId> id = scheduler.Submit(Request("bs"));
+    ASSERT_TRUE(id.ok());
+    const SolveResponse response = scheduler.Wait(id.value());
+    EXPECT_FALSE(response.metrics.cache_hit);
+  }
+  EXPECT_EQ(CounterValue("svc.cache.hits"), 0);
+}
+
+TEST_F(SchedulerTest, FullQueueRejectsWithResourceExhausted) {
+  obs::MetricsRegistry::Global().Reset();
+  JobSchedulerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  JobScheduler scheduler(&registry_, options);
+
+  auto slow_request = [&] {
+    SolveRequest request;
+    request.graph = RandomGnm(48, 400, 13).value();
+    request.k = 2;
+    request.backend = "grasp";
+    request.options["iterations"] = "100000000";
+    return request;
+  };
+
+  // Job 1 occupies the single worker; wait for it to leave the queue.
+  const Result<JobId> running = scheduler.Submit(slow_request());
+  ASSERT_TRUE(running.ok());
+  for (int spin = 0; spin < 1000 && scheduler.QueueDepth() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(scheduler.QueueDepth(), 0u);
+
+  // Jobs 2 and 3 fill the bounded queue; job 4 must bounce.
+  const Result<JobId> queued_a = scheduler.Submit(slow_request());
+  const Result<JobId> queued_b = scheduler.Submit(slow_request());
+  ASSERT_TRUE(queued_a.ok());
+  ASSERT_TRUE(queued_b.ok());
+  const Result<JobId> rejected = scheduler.Submit(slow_request());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(CounterValue("svc.jobs.rejected"), 1);
+
+  for (const JobId id :
+       {running.value(), queued_a.value(), queued_b.value()}) {
+    scheduler.Cancel(id);
+    const SolveResponse response = scheduler.Wait(id);
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(SchedulerTest, DestructorDrainsUnwaitedJobs) {
+  obs::MetricsRegistry::Global().Reset();
+  {
+    JobScheduler scheduler(&registry_);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(scheduler.Submit(Request("bs")).ok());
+    }
+    // No Wait: the destructor must still execute everything.
+  }
+  EXPECT_EQ(CounterValue("svc.jobs.completed"), 4);
+}
+
+}  // namespace
+}  // namespace qplex::svc

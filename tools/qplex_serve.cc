@@ -1,0 +1,412 @@
+// qplex batch solve service: reads JSONL job requests, executes them through
+// the svc::JobScheduler over every registered backend, and streams JSONL
+// responses (job_start / job_end events) through the obs event sink.
+//
+//   qplex_serve --jobs <file|-> [--workers N] [--queue-cap N]
+//               [--events <file|->] [--cache on|off]
+//               [--metrics-json <file|->] [--progress-interval-ms N]
+//
+// One JSON object per input line:
+//
+//   {"id": "j1", "k": 2, "backend": "bs", "seed": 7, "deadline_ms": 500,
+//    "graph": {"n": 8, "edges": [[0,1],[1,2]]},      // inline instance, or
+//    "input": "graph.col", "format": "dimacs",       // a graph file
+//    "backends": ["bs", "sa"],                       // portfolio race
+//    "options": {"shots": 50}}                       // backend knobs
+//
+// `backends` (when present) races the listed backends and overrides
+// `backend`. Responses stream to --events (default "-", stdout) as job_end
+// lines carrying status, size, members, cache/queue/wall accounting. With
+// fixed seeds the solutions are identical for any --workers value; malformed
+// request lines fail the batch (exit 2), solver-level job failures are
+// reported per job and summarised in batch_end.
+
+#include <charconv>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qplex/qplex.h"
+
+namespace qplex {
+namespace {
+
+struct ServeOptions {
+  std::string jobs;  // job file; "-" = stdin
+  int workers = 4;
+  int queue_cap = 64;
+  std::string events = "-";
+  bool cache = true;
+  std::string metrics_json;
+  int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
+};
+
+void PrintUsage() {
+  std::cerr << "usage: qplex_serve --jobs <file|-> [--workers <int>] "
+               "[--queue-cap <int>]\n"
+               "                   [--events <file|->] [--cache on|off]\n"
+               "                   [--metrics-json <file|->] "
+               "[--progress-interval-ms <int>]\n";
+}
+
+template <typename T>
+Result<T> ParseInt(const std::string& flag, const std::string& value) {
+  T parsed{};
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end || value.empty()) {
+    return Status::InvalidArgument("bad integer for " + flag + ": '" + value +
+                                   "'");
+  }
+  return parsed;
+}
+
+Result<ServeOptions> ParseArgs(int argc, char** argv) {
+  ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--jobs") {
+      QPLEX_ASSIGN_OR_RETURN(options.jobs, next());
+    } else if (arg == "--workers") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.workers, ParseInt<int>(arg, value));
+    } else if (arg == "--queue-cap") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.queue_cap, ParseInt<int>(arg, value));
+    } else if (arg == "--events") {
+      QPLEX_ASSIGN_OR_RETURN(options.events, next());
+    } else if (arg == "--cache") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      if (value != "on" && value != "off") {
+        return Status::InvalidArgument("--cache must be on or off");
+      }
+      options.cache = value == "on";
+    } else if (arg == "--metrics-json") {
+      QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
+    } else if (arg == "--progress-interval-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.progress_interval_ms,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--help" || arg == "-h") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.jobs.empty()) {
+    return Status::InvalidArgument("--jobs is required");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument("--workers must be >= 1");
+  }
+  if (options.queue_cap < 1) {
+    return Status::InvalidArgument("--queue-cap must be >= 1");
+  }
+  if (options.progress_interval_ms < 1) {
+    return Status::InvalidArgument("--progress-interval-ms must be >= 1");
+  }
+  return options;
+}
+
+/// One parsed request line: the scheduler request plus the racer list.
+struct JobSpec {
+  svc::SolveRequest request;
+  std::vector<std::string> backends;  ///< empty = single request.backend
+};
+
+Result<Graph> ParseInlineGraph(const obs::JsonValue& spec, int line_number) {
+  const obs::JsonValue* n = spec.Find("n");
+  if (n == nullptr || !n->is_int()) {
+    return Status::InvalidArgument("graph.n missing at line " +
+                                   std::to_string(line_number));
+  }
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  if (const obs::JsonValue* list = spec.Find("edges"); list != nullptr) {
+    if (!list->is_array()) {
+      return Status::InvalidArgument("graph.edges must be an array at line " +
+                                     std::to_string(line_number));
+    }
+    for (std::size_t i = 0; i < list->size(); ++i) {
+      const obs::JsonValue& edge = list->at(i);
+      if (!edge.is_array() || edge.size() != 2 || !edge.at(0).is_int() ||
+          !edge.at(1).is_int()) {
+        return Status::InvalidArgument(
+            "graph.edges[" + std::to_string(i) +
+            "] must be [u, v] at line " + std::to_string(line_number));
+      }
+      edges.emplace_back(static_cast<Vertex>(edge.at(0).AsInt()),
+                         static_cast<Vertex>(edge.at(1).AsInt()));
+    }
+  }
+  return MakeGraph(static_cast<int>(n->AsInt()), edges);
+}
+
+Result<Graph> LoadJobGraph(const obs::JsonValue& line, int line_number) {
+  if (const obs::JsonValue* inline_graph = line.Find("graph");
+      inline_graph != nullptr) {
+    return ParseInlineGraph(*inline_graph, line_number);
+  }
+  const obs::JsonValue* input = line.Find("input");
+  if (input == nullptr || !input->is_string()) {
+    return Status::InvalidArgument(
+        "request needs \"graph\" or \"input\" at line " +
+        std::to_string(line_number));
+  }
+  std::string format = "dimacs";
+  if (const obs::JsonValue* f = line.Find("format"); f != nullptr) {
+    if (!f->is_string()) {
+      return Status::InvalidArgument("format must be a string at line " +
+                                     std::to_string(line_number));
+    }
+    format = f->AsString();
+  }
+  if (format == "dimacs") {
+    return LoadDimacsFile(input->AsString());
+  }
+  if (format == "edgelist") {
+    return LoadEdgeListFile(input->AsString());
+  }
+  return Status::InvalidArgument("unknown format '" + format + "' at line " +
+                                 std::to_string(line_number));
+}
+
+Result<JobSpec> ParseJobLine(const std::string& text, int line_number) {
+  QPLEX_ASSIGN_OR_RETURN(obs::JsonValue line, obs::JsonValue::Parse(text));
+  if (!line.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object at line " +
+                                   std::to_string(line_number));
+  }
+  JobSpec spec;
+  QPLEX_ASSIGN_OR_RETURN(spec.request.graph, LoadJobGraph(line, line_number));
+  spec.request.label = "line-" + std::to_string(line_number);
+  if (const obs::JsonValue* id = line.Find("id"); id != nullptr) {
+    spec.request.label =
+        id->is_string() ? id->AsString() : std::to_string(id->AsInt());
+  }
+  if (const obs::JsonValue* k = line.Find("k"); k != nullptr) {
+    spec.request.k = static_cast<int>(k->AsInt());
+  }
+  if (const obs::JsonValue* seed = line.Find("seed"); seed != nullptr) {
+    spec.request.seed = static_cast<std::uint64_t>(seed->AsInt());
+  }
+  if (const obs::JsonValue* deadline = line.Find("deadline_ms");
+      deadline != nullptr) {
+    spec.request.deadline_seconds = deadline->AsDouble() / 1e3;
+  }
+  if (const obs::JsonValue* backend = line.Find("backend");
+      backend != nullptr) {
+    spec.request.backend = backend->AsString();
+  }
+  if (const obs::JsonValue* backends = line.Find("backends");
+      backends != nullptr) {
+    if (!backends->is_array() || backends->size() == 0) {
+      return Status::InvalidArgument(
+          "backends must be a non-empty array at line " +
+          std::to_string(line_number));
+    }
+    for (std::size_t i = 0; i < backends->size(); ++i) {
+      spec.backends.push_back(backends->at(i).AsString());
+    }
+  }
+  if (const obs::JsonValue* options = line.Find("options");
+      options != nullptr) {
+    if (!options->is_object()) {
+      return Status::InvalidArgument("options must be an object at line " +
+                                     std::to_string(line_number));
+    }
+    for (const auto& [key, value] : options->members()) {
+      if (value.is_string()) {
+        spec.request.options[key] = value.AsString();
+      } else if (value.is_int()) {
+        spec.request.options[key] = std::to_string(value.AsInt());
+      } else if (value.is_number()) {
+        std::ostringstream formatted;
+        formatted << value.AsDouble();
+        spec.request.options[key] = formatted.str();
+      } else {
+        return Status::InvalidArgument("option '" + key +
+                                       "' must be a string or number at line " +
+                                       std::to_string(line_number));
+      }
+    }
+  }
+  return spec;
+}
+
+Result<std::vector<JobSpec>> ReadJobs(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("cannot open jobs file: " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  std::vector<JobSpec> specs;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    QPLEX_ASSIGN_OR_RETURN(JobSpec spec, ParseJobLine(line, line_number));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Executes the whole batch with submission-order Wait()s; backpressure
+/// rejections retry after draining the oldest outstanding job.
+Result<int> RunBatch(svc::JobScheduler* scheduler, std::vector<JobSpec> specs) {
+  int failures = 0;
+  std::deque<svc::JobId> outstanding;
+  auto drain_one = [&] {
+    const svc::SolveResponse response = scheduler->Wait(outstanding.front());
+    outstanding.pop_front();
+    if (!response.status.ok()) {
+      ++failures;
+    }
+  };
+  for (JobSpec& spec : specs) {
+    while (true) {
+      Result<svc::JobId> submitted =
+          spec.backends.empty()
+              ? scheduler->Submit(spec.request)
+              : scheduler->SubmitPortfolio(spec.request, spec.backends);
+      if (submitted.ok()) {
+        outstanding.push_back(submitted.value());
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted) {
+        return submitted.status();
+      }
+      if (outstanding.empty()) {
+        // Queue smaller than one job's racer count: a config error, not
+        // transient backpressure.
+        return submitted.status();
+      }
+      drain_one();
+    }
+  }
+  while (!outstanding.empty()) {
+    drain_one();
+  }
+  return failures;
+}
+
+int Main(int argc, char** argv) {
+  const Result<ServeOptions> options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
+    PrintUsage();
+    return 2;
+  }
+
+  std::unique_ptr<obs::EventSink> events;
+  if (!options.value().events.empty()) {
+    Result<std::unique_ptr<obs::EventSink>> opened = obs::EventSink::Open(
+        options.value().events, options.value().progress_interval_ms);
+    if (!opened.ok()) {
+      std::cerr << "failed to open event stream " << options.value().events
+                << ": " << opened.status() << "\n";
+      return 2;
+    }
+    events = std::move(opened).value();
+    obs::EventSink::InstallGlobal(events.get());
+  }
+  struct SinkUninstaller {
+    ~SinkUninstaller() { obs::EventSink::InstallGlobal(nullptr); }
+  } uninstaller;
+
+  const Result<std::vector<JobSpec>> specs = ReadJobs(options.value().jobs);
+  if (!specs.ok()) {
+    std::cerr << "failed to read jobs: " << specs.status() << "\n";
+    return 2;
+  }
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
+
+  svc::SolverRegistry registry = svc::MakeBuiltinRegistry();
+  svc::JobSchedulerOptions scheduler_options;
+  scheduler_options.num_workers = options.value().workers;
+  scheduler_options.queue_capacity =
+      static_cast<std::size_t>(options.value().queue_cap);
+  scheduler_options.enable_cache = options.value().cache;
+
+  obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
+                 {{"jobs", static_cast<std::int64_t>(specs.value().size())},
+                  {"workers", options.value().workers},
+                  {"queue_cap", options.value().queue_cap},
+                  {"cache", options.value().cache}});
+  Stopwatch watch;
+  Result<int> failures = 0;
+  {
+    svc::JobScheduler scheduler(&registry, scheduler_options);
+    failures = RunBatch(&scheduler, std::move(specs).value());
+  }
+  const double wall_seconds = watch.ElapsedSeconds();
+  if (!failures.ok()) {
+    obs::EmitEvent(obs::EventLevel::kWarn, "svc", "batch_error",
+                   {{"status", failures.status().ToString()},
+                    {"wall_seconds", wall_seconds}});
+    std::cerr << "batch failed: " << failures.status() << "\n";
+    return 2;
+  }
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  const std::int64_t total =
+      metrics.GetCounter("svc.jobs.completed").Get();
+  obs::EmitEvent(
+      obs::EventLevel::kInfo, "svc", "batch_end",
+      {{"jobs", total},
+       {"failed", failures.value()},
+       {"cache_hits", metrics.GetCounter("svc.cache.hits").Get()},
+       {"cache_misses", metrics.GetCounter("svc.cache.misses").Get()},
+       {"wall_seconds", wall_seconds},
+       {"jobs_per_second",
+        wall_seconds > 0 ? static_cast<double>(total) / wall_seconds : 0.0}});
+
+  if (!options.value().metrics_json.empty()) {
+    obs::RunReport report("qplex_serve");
+    report.SetMeta("jobs", total);
+    report.SetMeta("failed", failures.value());
+    report.SetMeta("workers", options.value().workers);
+    report.SetMeta("cache", options.value().cache);
+    report.SetMeta("wall_seconds", wall_seconds);
+    report.Capture();
+    const Status written = report.WriteJsonFile(options.value().metrics_json);
+    if (!written.ok()) {
+      std::cerr << "failed to write metrics report to "
+                << options.value().metrics_json << ": " << written << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qplex
+
+int main(int argc, char** argv) { return qplex::Main(argc, argv); }

@@ -7,10 +7,15 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/fault_injection.h"
+
 namespace qplex {
 namespace {
 
 Result<std::string> ReadFile(const std::string& path) {
+  if (resilience::FaultFires(resilience::FaultSite::kIoRead)) {
+    return Status::Internal("injected fault: io_read on " + path);
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open file: " + path);

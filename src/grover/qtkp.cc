@@ -92,6 +92,7 @@ Result<QtkpResult> RunQtkp(const Graph& graph, int k, int threshold,
   if (options.threads < 1) {
     return Status::InvalidArgument("threads must be >= 1");
   }
+  QPLEX_RETURN_IF_ERROR(CheckSimulationBudget(n));
   QPLEX_ASSIGN_OR_RETURN(OracleEvaluation eval,
                          EvaluateOracle(graph, k, threshold, options));
 

@@ -22,8 +22,11 @@
 ///   milp/      dense simplex, branch & bound, McCormick linearization
 ///   classical/ enumeration ground truth, BS branch-and-search, reductions
 ///   workload/  the paper's dataset registry
+///   resilience/ deterministic fault injection, retry backoff, failure
+///              taxonomy
 ///   svc/       solver service layer: unified backend registry, bounded job
-///              scheduler with portfolio racing, instance result cache
+///              scheduler with portfolio racing, retry/fallback resilience,
+///              instance result cache
 
 #include "anneal/hybrid_solver.h"
 #include "anneal/parallel_tempering.h"
@@ -75,6 +78,8 @@
 #include "qubo/qubo_model.h"
 #include "relax/club.h"
 #include "relax/club_oracle.h"
+#include "resilience/fault_injection.h"
+#include "resilience/retry.h"
 #include "svc/cache.h"
 #include "svc/graph_hash.h"
 #include "svc/registry.h"

@@ -1,15 +1,24 @@
 #include "quantum/statevector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "resilience/fault_injection.h"
 
 namespace qplex {
 namespace {
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+constexpr std::uint64_t kDefaultMaxSimulationBytes = std::uint64_t{4} << 30;
+
+std::atomic<std::uint64_t>& SimulationBudget() {
+  static std::atomic<std::uint64_t> budget{kDefaultMaxSimulationBytes};
+  return budget;
+}
 
 /// Per-gate control predicate, folded to one mask compare per basis state:
 /// the gate fires on `basis` iff (basis & mask) == value. Computed once per
@@ -49,6 +58,40 @@ inline std::uint64_t PairToBasis(std::uint64_t j, std::uint64_t low_mask) {
 }
 
 }  // namespace
+
+std::uint64_t MaxSimulationBytes() {
+  return SimulationBudget().load(std::memory_order_relaxed);
+}
+
+void SetMaxSimulationBytes(std::uint64_t bytes) {
+  SimulationBudget().store(bytes == 0 ? kDefaultMaxSimulationBytes : bytes,
+                           std::memory_order_relaxed);
+}
+
+std::uint64_t SimulationBytes(int num_qubits) {
+  QPLEX_CHECK(num_qubits >= 0 && num_qubits < 60)
+      << "qubit count out of range: " << num_qubits;
+  return (std::uint64_t{1} << num_qubits) *
+         sizeof(std::complex<double>);
+}
+
+Status CheckSimulationBudget(int num_qubits) {
+  if (resilience::FaultFires(resilience::FaultSite::kAlloc)) {
+    return Status::ResourceExhausted(
+        "injected fault: alloc (statevector budget check, n=" +
+        std::to_string(num_qubits) + ")");
+  }
+  const std::uint64_t need = SimulationBytes(num_qubits);
+  const std::uint64_t budget = MaxSimulationBytes();
+  if (need > budget) {
+    return Status::ResourceExhausted(
+        "state-vector register of " + std::to_string(num_qubits) +
+        " qubits needs " + std::to_string(need) +
+        " bytes of amplitudes, over the " + std::to_string(budget) +
+        "-byte simulation budget");
+  }
+  return Status::Ok();
+}
 
 StateVectorSimulator::StateVectorSimulator(int num_qubits, int num_threads)
     : num_qubits_(num_qubits) {

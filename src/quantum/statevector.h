@@ -12,6 +12,21 @@
 
 namespace qplex {
 
+/// Process-wide amplitude-memory budget for state-vector simulation
+/// (default 4 GiB). Engines that are about to allocate a 2^n register call
+/// CheckSimulationBudget(n) first and surface kResourceExhausted as a value
+/// instead of dying in std::bad_alloc — the service layer turns that into a
+/// fallback down the backend chain. Setting 0 restores the default.
+std::uint64_t MaxSimulationBytes();
+void SetMaxSimulationBytes(std::uint64_t bytes);
+
+/// Bytes a 2^n amplitude register occupies (16 bytes per complex<double>).
+std::uint64_t SimulationBytes(int num_qubits);
+
+/// Ok when a 2^n register fits the budget, kResourceExhausted otherwise.
+/// Also hosts the `alloc` fault-injection site.
+Status CheckSimulationBudget(int num_qubits);
+
 /// Dense state-vector simulator for small registers (the n vertex qubits of
 /// the gate-based algorithms). Basis index bit i is qubit i (little-endian),
 /// matching the subset-mask convention in graph/kplex.h.

@@ -146,6 +146,7 @@ Result<Max2ClubResult> RunQMax2Club(const Graph& graph, std::uint64_t seed) {
                                    std::to_string(
                                        StateVectorSimulator::kMaxQubits));
   }
+  QPLEX_RETURN_IF_ERROR(CheckSimulationBudget(n));
   Rng rng(seed);
   Max2ClubResult result;
   int low = 1;

@@ -1,0 +1,120 @@
+#ifndef QPLEX_RESILIENCE_FAULT_INJECTION_H_
+#define QPLEX_RESILIENCE_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qplex::resilience {
+
+/// Named injection sites registered at the hot spots of the serving stack.
+/// Each site is a single branch in production code; when the injector is
+/// disabled (the default) the whole check collapses to one relaxed atomic
+/// load, so the instrumented paths stay on their fast path.
+enum class FaultSite : int {
+  kAlloc = 0,       ///< statevector amplitude-budget check
+  kSolverThrow,     ///< scheduler worker: backend throws mid-solve
+  kSolverSlow,      ///< scheduler worker: backend stalls ~25 ms
+  kIoRead,          ///< graph/io.cc file read
+  kCacheInsert,     ///< svc result-cache insert dropped
+};
+
+inline constexpr int kNumFaultSites = 5;
+
+/// Stable lowercase name used in --fault-spec and metrics
+/// ("alloc", "solver_throw", "solver_slow", "io_read", "cache_insert").
+std::string_view FaultSiteName(FaultSite site);
+
+/// Parses a site name; unknown names are an InvalidArgument listing the
+/// valid set.
+Result<FaultSite> ParseFaultSite(std::string_view name);
+
+/// How one armed site decides to fire. Exactly one of `probability` /
+/// `every_n` is active: rates written with a '.' or exponent ("0.3", "1e-2")
+/// arm a probability trigger, plain integers ("64") fire every Nth call.
+/// Both triggers are pure functions of (seed, per-site call index), so a
+/// fixed spec yields the same fault pattern on every sequential run.
+struct FaultRule {
+  double probability = 0;
+  std::int64_t every_n = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Parses "site:rate[:seed]" with ','-separated repetition, e.g.
+/// "solver_throw:0.3:7,io_read:5:1". Seed defaults to 1.
+Result<std::vector<std::pair<FaultSite, FaultRule>>> ParseFaultSpec(
+    std::string_view spec);
+
+/// Deterministic seed-driven fault injector. Construct instances freely in
+/// tests; production call sites consult the process-wide Global() instance
+/// through FaultFires() below.
+///
+/// Thread safety: ShouldFire/injected/calls are safe to call concurrently;
+/// Configure/Arm/Reset must not race with them (configure at startup, before
+/// workers exist — exactly what the tools do).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// The process-wide injector. On first use it bootstraps from the
+  /// QPLEX_FAULT_SPEC environment variable (same grammar as --fault-spec);
+  /// an explicit Configure() from a tool flag replaces that configuration.
+  static FaultInjector& Global();
+
+  /// Replaces the active configuration with `spec`; an empty spec disables
+  /// every site. Invalid specs leave the injector unchanged.
+  Status Configure(std::string_view spec);
+
+  /// Arms one site, resetting its call/injected counters.
+  void Arm(FaultSite site, FaultRule rule);
+
+  /// Disarms every site and clears all counters.
+  void Reset();
+
+  /// True when at least one site is armed (one relaxed load; the gate for
+  /// the production no-op branch).
+  bool enabled() const { return armed_sites_.load(std::memory_order_relaxed) > 0; }
+
+  /// Counts the call and decides whether the fault fires at this site.
+  bool ShouldFire(FaultSite site);
+
+  /// Diagnostics: calls observed / faults injected at `site`.
+  std::int64_t calls(FaultSite site) const;
+  std::int64_t injected(FaultSite site) const;
+
+ private:
+  struct SiteState {
+    std::atomic<bool> active{false};
+    std::atomic<std::int64_t> calls{0};
+    std::atomic<std::int64_t> injected{0};
+    FaultRule rule;
+  };
+
+  std::mutex config_mutex_;
+  std::atomic<int> armed_sites_{0};
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+/// The one-line production check: `if (FaultFires(FaultSite::kIoRead)) ...`.
+/// Compiles to a single relaxed load + branch when nothing is armed, and to
+/// `false` outright under -DQPLEX_DISABLE_FAULT_INJECTION.
+inline bool FaultFires(FaultSite site) {
+#ifdef QPLEX_DISABLE_FAULT_INJECTION
+  (void)site;
+  return false;
+#else
+  FaultInjector& injector = FaultInjector::Global();
+  return injector.enabled() && injector.ShouldFire(site);
+#endif
+}
+
+}  // namespace qplex::resilience
+
+#endif  // QPLEX_RESILIENCE_FAULT_INJECTION_H_

@@ -1,0 +1,49 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+
+namespace qplex::resilience {
+
+FailureClass ClassifyFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+      return FailureClass::kTransient;
+    case StatusCode::kResourceExhausted:
+      return FailureClass::kDegradable;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kNotFound:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnimplemented:
+      return FailureClass::kPermanent;
+  }
+  return FailureClass::kPermanent;
+}
+
+Backoff::Backoff(BackoffOptions options)
+    : options_(options), rng_(options.seed), previous_ms_(options.base_ms) {
+  options_.base_ms = std::max(options_.base_ms, 0.0);
+  options_.cap_ms = std::max(options_.cap_ms, options_.base_ms);
+  options_.multiplier = std::max(options_.multiplier, 1.0);
+  previous_ms_ = options_.base_ms;
+}
+
+double Backoff::NextDelayMs() {
+  const double lo = options_.base_ms;
+  const double hi = std::max(lo, previous_ms_ * options_.multiplier);
+  const double delay =
+      std::min(options_.cap_ms, lo + rng_.UniformDouble() * (hi - lo));
+  previous_ms_ = delay;
+  ++attempts_;
+  return delay;
+}
+
+void Backoff::Reset() {
+  rng_ = Rng(options_.seed);
+  previous_ms_ = options_.base_ms;
+  attempts_ = 0;
+}
+
+}  // namespace qplex::resilience

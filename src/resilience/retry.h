@@ -1,0 +1,58 @@
+#ifndef QPLEX_RESILIENCE_RETRY_H_
+#define QPLEX_RESILIENCE_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qplex::resilience {
+
+/// Retry taxonomy over the canonical StatusCode space (full table in
+/// DESIGN.md section 10). The scheduler retries transient failures with
+/// backoff, walks the registry fallback chain on degradable ones, and
+/// surfaces permanent ones immediately.
+enum class FailureClass {
+  kTransient,   ///< kInternal: crashed/flaky execution, retry may succeed
+  kDegradable,  ///< kResourceExhausted: same backend will fail again at the
+                ///< same scale — fall back, don't retry
+  kPermanent,   ///< bad request, missing backend, expired deadline, ...
+};
+
+FailureClass ClassifyFailure(StatusCode code);
+
+/// Exponential backoff with decorrelated jitter (the AWS architecture-blog
+/// variant): delay_i = min(cap, uniform(base, prev * multiplier)). Fully
+/// deterministic for a fixed seed, so retry schedules are reproducible and
+/// safe to record in gated bench counters.
+struct BackoffOptions {
+  double base_ms = 1.0;
+  double cap_ms = 100.0;
+  double multiplier = 3.0;
+  std::uint64_t seed = 1;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options);
+
+  /// The next delay in milliseconds; grows (jittered) up to cap_ms.
+  double NextDelayMs();
+
+  /// Restores the initial state; the next NextDelayMs() replays the same
+  /// deterministic sequence.
+  void Reset();
+
+  /// Delays handed out since construction/Reset.
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double previous_ms_;
+  int attempts_ = 0;
+};
+
+}  // namespace qplex::resilience
+
+#endif  // QPLEX_RESILIENCE_RETRY_H_

@@ -312,6 +312,13 @@ Status RegisterBuiltinBackends(SolverRegistry* registry) {
   QPLEX_RETURN_IF_ERROR(registry->Register(std::make_unique<PiaBackend>()));
   QPLEX_RETURN_IF_ERROR(registry->Register(std::make_unique<HybridBackend>()));
   QPLEX_RETURN_IF_ERROR(registry->Register(std::make_unique<MilpBackend>()));
+  // Degradation chains: when the quantum simulators blow the amplitude
+  // memory budget they fall back to exact branch-and-search, and the MILP
+  // backend (whose B&B node table can also exhaust its budget) degrades to
+  // the GRASP heuristic.
+  QPLEX_RETURN_IF_ERROR(registry->SetFallback("qtkp", "bs"));
+  QPLEX_RETURN_IF_ERROR(registry->SetFallback("qmkp", "bs"));
+  QPLEX_RETURN_IF_ERROR(registry->SetFallback("milp", "grasp"));
   return Status::Ok();
 }
 

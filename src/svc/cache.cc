@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "resilience/fault_injection.h"
 
 namespace qplex::svc {
 
@@ -24,6 +25,14 @@ std::optional<SolveResponse> InstanceCache::Lookup(const std::string& key) {
 
 void InstanceCache::Insert(const std::string& key,
                            const SolveResponse& response) {
+  // A dropped insert is the safe failure mode: the cache stays consistent and
+  // the job's own response is unaffected — later lookups just miss.
+  if (resilience::FaultFires(resilience::FaultSite::kCacheInsert)) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("svc.cache.dropped_inserts")
+        .Increment();
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto& registry = obs::MetricsRegistry::Global();
   const auto it = entries_.find(key);

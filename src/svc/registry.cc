@@ -22,6 +22,29 @@ const Solver* SolverRegistry::Get(std::string_view name) const {
   return it == solvers_.end() ? nullptr : it->second.get();
 }
 
+Status SolverRegistry::SetFallback(std::string_view name,
+                                   std::string_view fallback) {
+  if (Get(name) == nullptr) {
+    return Status::InvalidArgument("fallback source not registered: " +
+                                   std::string(name));
+  }
+  if (Get(fallback) == nullptr) {
+    return Status::InvalidArgument("fallback target not registered: " +
+                                   std::string(fallback));
+  }
+  if (name == fallback) {
+    return Status::InvalidArgument("backend cannot fall back to itself: " +
+                                   std::string(name));
+  }
+  fallbacks_.insert_or_assign(std::string(name), std::string(fallback));
+  return Status::Ok();
+}
+
+const std::string* SolverRegistry::Fallback(std::string_view name) const {
+  const auto it = fallbacks_.find(name);
+  return it == fallbacks_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> SolverRegistry::Names() const {
   std::vector<std::string> names;
   names.reserve(solvers_.size());

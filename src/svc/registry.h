@@ -34,8 +34,18 @@ class SolverRegistry {
   /// Sorted backend names.
   std::vector<std::string> Names() const;
 
+  /// Declares that jobs for `name` degrade to `fallback` when `name` fails
+  /// with kResourceExhausted (e.g. a state-vector register over the memory
+  /// budget). Both backends must already be registered; chains may be linked
+  /// (a→b→c) but the scheduler guards against cycles.
+  Status SetFallback(std::string_view name, std::string_view fallback);
+
+  /// The fallback registered for `name`, or nullptr when it has none.
+  const std::string* Fallback(std::string_view name) const;
+
  private:
   std::map<std::string, std::unique_ptr<Solver>, std::less<>> solvers_;
+  std::map<std::string, std::string, std::less<>> fallbacks_;
 };
 
 /// Registers every built-in backend adapter:

@@ -1,13 +1,18 @@
 #include "svc/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <utility>
 
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault_injection.h"
 #include "svc/graph_hash.h"
 
 namespace qplex::svc {
@@ -52,8 +57,10 @@ JobScheduler::JobScheduler(const SolverRegistry* registry,
   // One long-lived WorkerLoop task per worker, hosted on the shared
   // ThreadPool primitive. The dispatcher thread exists only to be the
   // batch's blocking caller; it participates in the batch like any worker.
-  dispatcher_ = std::thread(
-      [this] { pool_.Run(options_.num_workers, [this](int) { WorkerLoop(); }); });
+  dispatcher_ = std::thread([this] {
+    pool_.Run(options_.num_workers,
+              [this](int worker) { WorkerLoop(worker); });
+  });
 }
 
 JobScheduler::~JobScheduler() {
@@ -99,6 +106,8 @@ Result<JobId> JobScheduler::Enqueue(SolveRequest request,
                       ? Deadline::After(job->request.deadline_seconds)
                       : Deadline::Infinite();
   job->remaining = static_cast<int>(num_racers);
+  job->retries_left.store(options_.retry.max_retries,
+                          std::memory_order_relaxed);
   job->responses.resize(num_racers);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -137,11 +146,29 @@ SolveResponse JobScheduler::Wait(JobId id) {
       return response;
     }
     job = it->second;
-    jobs_.erase(it);
   }
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] { return job->done; });
-  return std::move(job->merged);
+  SolveResponse merged;
+  {
+    // The job stays in jobs_ until the wait completes so that Cancel() keeps
+    // working on a job that is being waited on — qplex_serve's signal
+    // handler cancels in-flight jobs exactly while the batch loop blocks
+    // here.
+    std::unique_lock<std::mutex> lock(job->mutex);
+    if (job->consumed) {
+      SolveResponse response;
+      response.status = Status::InvalidArgument(
+          "unknown or already-consumed job id " + std::to_string(id));
+      return response;
+    }
+    job->consumed = true;
+    job->done_cv.wait(lock, [&] { return job->done; });
+    merged = std::move(job->merged);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(id);
+  }
+  return merged;
 }
 
 void JobScheduler::Cancel(JobId id) {
@@ -157,7 +184,7 @@ std::size_t JobScheduler::QueueDepth() const {
   return queue_.size();
 }
 
-void JobScheduler::WorkerLoop() {
+void JobScheduler::WorkerLoop(int worker) {
   while (true) {
     SubTask task;
     {
@@ -166,14 +193,23 @@ void JobScheduler::WorkerLoop() {
       if (queue_.empty()) {
         return;  // shutdown requested and the queue is drained
       }
-      task = queue_.front();
-      queue_.pop_front();
+      // A retry prefers a worker other than the one that just failed it;
+      // when every queued task excludes this worker, take the front anyway
+      // (an excluded task must never be stranded behind an idle worker).
+      auto it = std::find_if(
+          queue_.begin(), queue_.end(),
+          [&](const SubTask& t) { return t.excluded_worker != worker; });
+      if (it == queue_.end()) {
+        it = queue_.begin();
+      }
+      task = *it;
+      queue_.erase(it);
     }
-    Execute(task);
+    Execute(task, worker);
   }
 }
 
-void JobScheduler::Execute(const SubTask& task) {
+void JobScheduler::Execute(const SubTask& task, int worker) {
   Job& job = *task.job;
   const std::string& backend = job.backends[task.slot];
 
@@ -194,7 +230,15 @@ void JobScheduler::Execute(const SubTask& task) {
                     {"num_vertices", job.request.graph.num_vertices()}});
   }
 
-  SolveResponse response = RunBackend(job, backend);
+  SolveResponse response = RunBackend(job, backend, task.attempt);
+  response.attempts = task.attempt;
+
+  if (resilience::ClassifyFailure(response.status.code()) ==
+          resilience::FailureClass::kTransient &&
+      ConsumeRetryBudget(response.status, job)) {
+    ScheduleRetry(task, worker, response.status);
+    return;  // the slot completes on a later attempt
+  }
 
   bool last = false;
   SolveResponse merged_copy;
@@ -231,33 +275,43 @@ void JobScheduler::Execute(const SubTask& task) {
          {"members", MembersToString(merged_copy.solution.members)},
          {"provably_optimal", merged_copy.provably_optimal},
          {"cache_hit", merged_copy.metrics.cache_hit},
+         {"attempts", merged_copy.attempts},
+         {"degraded_from", merged_copy.degraded_from},
+         {"degradation_reason", merged_copy.degradation_reason},
          {"queue_seconds", merged_copy.metrics.queue_seconds},
          {"wall_seconds", merged_copy.metrics.wall_seconds}});
   }
   job.done_cv.notify_all();
 }
 
-SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend) {
+SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
+                                       int attempt) {
   auto& registry = obs::MetricsRegistry::Global();
   obs::TraceSpan span("svc.job");
 
   SolveResponse response;
   response.backend = backend;
   response.metrics.queue_seconds = job.submitted.ElapsedSeconds();
-  registry.GetHistogram("svc.queue_wait_seconds")
-      .Record(response.metrics.queue_seconds);
-  registry.GetCounter("svc.backend." + backend + ".jobs").Increment();
+  if (attempt == 1) {
+    // Admission accounting happens once per slot; retries are continuations
+    // of the same admission, not new jobs.
+    registry.GetHistogram("svc.queue_wait_seconds")
+        .Record(response.metrics.queue_seconds);
+    registry.GetCounter("svc.backend." + backend + ".jobs").Increment();
+  }
 
   std::string key;
   if (cache_ != nullptr) {
     key = CacheKey(job.request, backend);
-    if (std::optional<SolveResponse> cached = cache_->Lookup(key)) {
-      const double queue_seconds = response.metrics.queue_seconds;
-      response = *std::move(cached);
-      response.metrics.queue_seconds = queue_seconds;
-      response.metrics.wall_seconds = 0;
-      response.metrics.cache_hit = true;
-      return response;
+    if (attempt == 1) {
+      if (std::optional<SolveResponse> cached = cache_->Lookup(key)) {
+        const double queue_seconds = response.metrics.queue_seconds;
+        response = *std::move(cached);
+        response.metrics.queue_seconds = queue_seconds;
+        response.metrics.wall_seconds = 0;
+        response.metrics.cache_hit = true;
+        return response;
+      }
     }
   }
 
@@ -268,22 +322,20 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend) {
     return response;
   }
 
-  SolveContext context;
-  const double remaining = job.deadline.RemainingSeconds();
-  context.budget_seconds =
-      std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
-  context.cancel = &job.cancel;
-
   Stopwatch watch;
-  Result<SolveOutcome> outcome =
-      registry_->Get(backend)->Solve(job.request, context);
+  Result<SolveOutcome> outcome = GuardedSolve(job, backend);
   response.metrics.wall_seconds = watch.ElapsedSeconds();
   registry.GetHistogram("svc.job_wall_seconds")
       .Record(response.metrics.wall_seconds);
 
   if (!outcome.ok()) {
-    response.status = outcome.status();
     registry.GetCounter("svc.backend." + backend + ".failures").Increment();
+    if (resilience::ClassifyFailure(outcome.status().code()) ==
+        resilience::FailureClass::kDegradable) {
+      return RunFallbackChain(job, backend, std::move(response),
+                              outcome.status());
+    }
+    response.status = outcome.status();
     return response;
   }
   SolveOutcome& result = outcome.value();
@@ -300,6 +352,162 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend) {
     cache_->Insert(key, response);
   }
   return response;
+}
+
+Result<SolveOutcome> JobScheduler::GuardedSolve(Job& job,
+                                                const std::string& backend) {
+  auto& registry = obs::MetricsRegistry::Global();
+  try {
+    if (resilience::FaultFires(resilience::FaultSite::kSolverThrow)) {
+      throw std::runtime_error("injected fault: solver_throw");
+    }
+    if (resilience::FaultFires(resilience::FaultSite::kSolverSlow)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    SolveContext context;
+    const double remaining = job.deadline.RemainingSeconds();
+    context.budget_seconds =
+        std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
+    context.cancel = &job.cancel;
+    return registry_->Get(backend)->Solve(job.request, context);
+  } catch (const std::exception& e) {
+    registry.GetCounter("svc.backend." + backend + ".exceptions").Increment();
+    return Status::Internal("backend " + backend +
+                            " threw: " + std::string(e.what()));
+  } catch (...) {
+    registry.GetCounter("svc.backend." + backend + ".exceptions").Increment();
+    return Status::Internal("backend " + backend +
+                            " threw a non-standard exception");
+  }
+}
+
+SolveResponse JobScheduler::RunFallbackChain(Job& job,
+                                             const std::string& backend,
+                                             SolveResponse response,
+                                             Status original) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string reason = original.ToString();
+  std::vector<std::string> visited{backend};
+  std::string current = backend;
+  Status last = std::move(original);
+  while (true) {
+    const std::string* next = registry_->Fallback(current);
+    if (next == nullptr ||
+        std::find(visited.begin(), visited.end(), *next) != visited.end()) {
+      break;  // end of chain (or a configuration cycle): surface the failure
+    }
+    current = *next;
+    visited.push_back(current);
+    registry.GetCounter("svc.fallbacks.taken").Increment();
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kWarn, "svc", "job_fallback",
+                     {{"job", static_cast<std::int64_t>(job.id)},
+                      {"from", backend},
+                      {"to", current},
+                      {"reason", reason}});
+    }
+    if (StopRequested(job.deadline, &job.cancel)) {
+      last = Status::DeadlineExceeded(
+          "job budget exhausted before fallback " + current + " started");
+      registry.GetCounter("svc.deadline_hits").Increment();
+      break;
+    }
+    Stopwatch watch;
+    Result<SolveOutcome> outcome = GuardedSolve(job, current);
+    response.metrics.wall_seconds += watch.ElapsedSeconds();
+    if (!outcome.ok()) {
+      last = outcome.status();
+      registry.GetCounter("svc.backend." + current + ".failures").Increment();
+      if (resilience::ClassifyFailure(last.code()) ==
+          resilience::FailureClass::kDegradable) {
+        continue;  // the fallback is also over budget: keep walking
+      }
+      break;
+    }
+    SolveOutcome& result = outcome.value();
+    response.backend = current;
+    response.degraded_from = backend;
+    response.degradation_reason = reason;
+    response.solution = std::move(result.solution);
+    response.provably_optimal = result.provably_optimal;
+    if (!result.completed) {
+      response.status = Status::DeadlineExceeded(
+          "backend " + current +
+          " stopped early (deadline or cancellation); incumbent attached");
+      registry.GetCounter("svc.deadline_hits").Increment();
+    } else {
+      response.status = Status::Ok();
+    }
+    // Degraded answers are never cached: the cache key names the requested
+    // backend, and a future request with a bigger budget deserves the real
+    // thing.
+    return response;
+  }
+  response.status = std::move(last);
+  return response;
+}
+
+bool JobScheduler::ConsumeRetryBudget(const Status& status, Job& job) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (StopRequested(job.deadline, &job.cancel)) {
+    return false;  // no budget left to retry into
+  }
+  if (job.retries_left.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    registry.GetCounter("svc.retries.exhausted").Increment();
+    return false;
+  }
+  (void)status;
+  return true;
+}
+
+void JobScheduler::ScheduleRetry(const SubTask& task, int worker,
+                                 const Status& failure) {
+  Job& job = *task.job;
+  const std::string& backend = job.backends[task.slot];
+  auto& registry = obs::MetricsRegistry::Global();
+
+  // The delay is a pure function of (seed, job, slot, attempt): replay the
+  // deterministic backoff sequence up to this attempt. Recording the
+  // *computed* delay (not a measured sleep) keeps the histogram exactly
+  // reproducible for the bench gate.
+  resilience::BackoffOptions backoff_options;
+  backoff_options.base_ms = options_.retry.backoff_base_ms;
+  backoff_options.cap_ms = options_.retry.backoff_cap_ms;
+  backoff_options.seed = options_.retry.backoff_seed ^
+                         (static_cast<std::uint64_t>(job.id) *
+                          0x9e3779b97f4a7c15ULL) ^
+                         static_cast<std::uint64_t>(task.slot);
+  resilience::Backoff backoff(backoff_options);
+  double delay_ms = 0;
+  for (int i = 0; i < task.attempt; ++i) {
+    delay_ms = backoff.NextDelayMs();
+  }
+
+  registry.GetCounter("svc.retries.scheduled").Increment();
+  registry.GetCounter("svc.backend." + backend + ".retries").Increment();
+  registry.GetHistogram("svc.retries.backoff_ms").Record(delay_ms);
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(obs::EventLevel::kWarn, "svc", "job_retry",
+                   {{"job", static_cast<std::int64_t>(job.id)},
+                    {"backend", backend},
+                    {"attempt", task.attempt},
+                    {"backoff_ms", delay_ms},
+                    {"status", std::string(StatusCodeName(failure.code()))}});
+  }
+
+  const double remaining_ms = job.deadline.RemainingSeconds() * 1e3;
+  const double sleep_ms =
+      std::isinf(remaining_ms) ? delay_ms
+                               : std::min(delay_ms, std::max(remaining_ms, 0.0));
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(SubTask{task.job, task.slot, task.attempt + 1, worker});
+  }
+  work_cv_.notify_all();
 }
 
 void JobScheduler::MergeResponses(Job* job) {

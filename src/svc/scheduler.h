@@ -12,14 +12,32 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "resilience/retry.h"
 #include "svc/cache.h"
 #include "svc/registry.h"
 #include "svc/solver.h"
 
 namespace qplex::svc {
+
+/// Retry policy applied by the scheduler to transient failures
+/// (kInternal: a backend threw or flaked). See DESIGN.md section 10 for the
+/// full failure taxonomy.
+struct RetryOptions {
+  /// Per-job retry budget beyond the first attempt; shared by portfolio
+  /// racers. 0 disables retries.
+  int max_retries = 2;
+  /// Decorrelated-jitter backoff between attempts. The delay sequence is a
+  /// pure function of (backoff_seed, job id, slot, attempt), so retry
+  /// schedules are deterministic and safe to assert on.
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 100.0;
+  std::uint64_t backoff_seed = 0x7e57ab1e;
+};
 
 /// Scheduler configuration.
 struct JobSchedulerOptions {
@@ -30,11 +48,13 @@ struct JobSchedulerOptions {
   int num_workers = 4;
   /// Admission bound on queued backend executions (a portfolio job occupies
   /// one slot per racer). Submissions beyond it are rejected with
-  /// kResourceExhausted — backpressure, not unbounded buffering.
+  /// kResourceExhausted — backpressure, not unbounded buffering. Retry
+  /// re-enqueues bypass the bound: an admitted job may always finish.
   std::size_t queue_capacity = 64;
   /// Result cache toggle and size.
   bool enable_cache = true;
   std::size_t cache_capacity = 256;
+  RetryOptions retry;
 };
 
 using JobId = std::int64_t;
@@ -59,6 +79,13 @@ using JobId = std::int64_t;
 /// Every execution records svc.* metrics (queue wait, wall time, per-backend
 /// job/failure counters, cache hit/miss) and runs under an "svc.job" trace
 /// span.
+///
+/// Resilience (DESIGN.md section 10): backend executions run behind a
+/// catch-all exception barrier (a throwing backend becomes a per-job
+/// Internal status). Transient failures are retried with decorrelated-jitter
+/// backoff on a different worker, up to the per-job retry budget;
+/// kResourceExhausted walks the registry fallback chain (qtkp→bs, qmkp→bs,
+/// milp→grasp) and surfaces the degradation trail in the response.
 class JobScheduler {
  public:
   /// `registry` must outlive the scheduler.
@@ -104,27 +131,51 @@ class JobScheduler {
     Deadline deadline = Deadline::Infinite();
     Stopwatch submitted;
     CancelToken cancel;
+    /// Shared per-job retry budget, decremented as retries are scheduled.
+    std::atomic<int> retries_left{0};
 
     std::mutex mutex;
     std::condition_variable done_cv;
     int remaining = 0;
     bool started = false;
     bool done = false;
+    /// Set by the first Wait() under `mutex`; a second Wait is an error.
+    bool consumed = false;
     std::vector<SolveResponse> responses;
     SolveResponse merged;
   };
 
   struct SubTask {
     std::shared_ptr<Job> job;
-    int slot = 0;  ///< index into job->backends
+    int slot = 0;      ///< index into job->backends
+    int attempt = 1;   ///< 1 on first execution, +1 per retry
+    /// Worker that failed the previous attempt; the retry prefers any other
+    /// worker (best-effort: with one worker, or when only excluded tasks are
+    /// queued, the excluded worker still takes it — no idling, no deadlock).
+    int excluded_worker = -1;
   };
 
   Result<JobId> Enqueue(SolveRequest request,
                         std::vector<std::string> backends);
-  void WorkerLoop();
-  void Execute(const SubTask& task);
+  void WorkerLoop(int worker);
+  void Execute(const SubTask& task, int worker);
   /// Runs one backend (cache-aware); never blocks on other jobs.
-  SolveResponse RunBackend(Job& job, const std::string& backend);
+  SolveResponse RunBackend(Job& job, const std::string& backend, int attempt);
+  /// Executes one backend behind the catch-all exception barrier (plus the
+  /// solver_throw/solver_slow fault-injection sites): a throwing backend
+  /// becomes Status::Internal naming the backend and what(), never a
+  /// process death.
+  Result<SolveOutcome> GuardedSolve(Job& job, const std::string& backend);
+  /// Walks the registry fallback chain after `backend` failed with
+  /// kResourceExhausted; fills the degradation trail in `response`.
+  SolveResponse RunFallbackChain(Job& job, const std::string& backend,
+                                 SolveResponse response, Status original);
+  /// True when `status` is transient, budget remains, and the job deadline
+  /// has not expired; consumes one unit of the job's retry budget.
+  bool ConsumeRetryBudget(const Status& status, Job& job);
+  /// Records metrics/events, sleeps the deterministic backoff delay, and
+  /// re-enqueues the task for a different worker.
+  void ScheduleRetry(const SubTask& task, int worker, const Status& failure);
   /// Deterministic portfolio merge; called with job.mutex held after the
   /// last racer finished.
   static void MergeResponses(Job* job);

@@ -68,8 +68,17 @@ struct SolveResponse {
   MkpSolution solution;
   bool provably_optimal = false;
   /// The backend that produced `solution` (the winning racer in portfolio
-  /// mode).
+  /// mode, or the fallback that absorbed a degraded execution).
   std::string backend;
+  /// Scheduler executions of this slot, including the final one: 1 when the
+  /// first attempt settled, 1 + retries otherwise.
+  int attempts = 1;
+  /// Degradation trail: when the requested backend failed with
+  /// kResourceExhausted and a registry fallback produced the answer,
+  /// `degraded_from` names the originally requested backend and
+  /// `degradation_reason` carries its failure. Empty otherwise.
+  std::string degraded_from;
+  std::string degradation_reason;
   SolveMetrics metrics;
 };
 

@@ -9,6 +9,7 @@
 #include "grover/engine.h"
 #include "grover/qmkp.h"
 #include "grover/qtkp.h"
+#include "quantum/statevector.h"
 
 namespace qplex {
 namespace {
@@ -326,6 +327,23 @@ TEST(QmkpTest, BbhtOverallErrorBelowOne) {
   EXPECT_EQ(result.best_size, 4);
   EXPECT_LT(result.error_probability, 1.0);
   EXPECT_GE(result.error_probability, 0.0);
+}
+
+TEST(QtkpTest, SimulationBudgetBreachIsResourceExhausted) {
+  // A 6-vertex instance needs a 2^6-amplitude register (1024 bytes); a
+  // 64-byte budget must surface kResourceExhausted as a value, not a throw,
+  // so the service layer can walk the qtkp -> bs fallback chain.
+  SetMaxSimulationBytes(64);
+  struct Restore {
+    ~Restore() { SetMaxSimulationBytes(0); }
+  } restore;
+
+  const Graph graph = CompleteGraph(6);
+  const Result<QtkpResult> result = RunQtkp(graph, 2, 3, QtkpOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("simulation budget"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
+#include "common/status.h"
 #include "quantum/basis_sim.h"
 #include "quantum/bitstring.h"
 #include "quantum/circuit.h"
 #include "quantum/gate.h"
 #include "quantum/statevector.h"
+#include "resilience/fault_injection.h"
 
 namespace qplex {
 namespace {
@@ -443,6 +446,52 @@ TEST(StateVectorThreadingTest, SetNumThreadsIsObservable) {
   EXPECT_EQ(sim.num_threads(), 1);
   sim.set_num_threads(3);
   EXPECT_EQ(sim.num_threads(), 3);
+}
+
+// -- Simulation memory budget -------------------------------------------------
+
+TEST(SimulationBudgetTest, DefaultBudgetIsFourGiB) {
+  EXPECT_EQ(MaxSimulationBytes(), std::uint64_t{4} << 30);
+}
+
+TEST(SimulationBudgetTest, SimulationBytesIsAmplitudeArraySize) {
+  // 2^n amplitudes of std::complex<double> (16 bytes each).
+  EXPECT_EQ(SimulationBytes(0), 16u);
+  EXPECT_EQ(SimulationBytes(10), 16u * 1024u);
+  EXPECT_EQ(SimulationBytes(30), std::uint64_t{16} << 30);
+}
+
+TEST(SimulationBudgetTest, CheckRejectsExactlyAtTheBoundary) {
+  SetMaxSimulationBytes(SimulationBytes(10));
+  struct Restore {
+    ~Restore() { SetMaxSimulationBytes(0); }  // 0 restores the default
+  } restore;
+
+  EXPECT_TRUE(CheckSimulationBudget(10).ok());  // == budget: allowed
+  const Status over = CheckSimulationBudget(11);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(over.message().find("simulation budget"), std::string::npos);
+
+  // Restoring the default re-admits large registers (up to 28 qubits).
+  SetMaxSimulationBytes(0);
+  EXPECT_TRUE(CheckSimulationBudget(28).ok());
+}
+
+TEST(SimulationBudgetTest, AllocFaultSiteForcesBudgetFailure) {
+  resilience::FaultInjector& injector = resilience::FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("alloc:1:1").ok());
+  struct Restore {
+    ~Restore() { resilience::FaultInjector::Global().Reset(); }
+  } restore;
+
+  // Even a trivially small register fails while the alloc site is armed.
+  const Status status = CheckSimulationBudget(2);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("injected fault: alloc"),
+            std::string::npos);
+
+  injector.Reset();
+  EXPECT_TRUE(CheckSimulationBudget(2).ok());
 }
 
 }  // namespace

@@ -7,13 +7,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "obs/json.h"
 
@@ -296,6 +305,159 @@ TEST(ServeSmokeTest, MalformedInputsExitTwo) {
   EXPECT_EQ(RunServe("--jobs x --workers 0"), 2);
   EXPECT_EQ(RunServe("--jobs x --workers junk"), 2);
   EXPECT_EQ(RunServe("--jobs x --cache maybe"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: chaos runs, crash-safe journaling + resume, admission backoff.
+
+/// Counts complete (newline-terminated) lines in a file.
+int CountLines(const std::filesystem::path& path) {
+  const std::string text = ReadFile(path);
+  int lines = 0;
+  for (const char c : text) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+TEST(ServeChaosTest, FaultInjectedBatchIsTerminalAndDeterministic) {
+  // 30% of backend executions throw mid-solve (seeded, so the fault pattern
+  // is fixed under --workers 1). The batch must still exit 0 with every job
+  // reaching a terminal status, and two identical runs must journal
+  // byte-identically — retries, faults and all.
+  const std::filesystem::path jobs = WriteMixedBatch();
+  auto chaos_run = [&](const std::string& tag) {
+    const std::filesystem::path events =
+        TempDir() / ("events_chaos_" + tag + ".jsonl");
+    const std::filesystem::path journal =
+        TempDir() / ("journal_chaos_" + tag + ".jsonl");
+    const int exit_code = RunServe(
+        "--jobs " + jobs.string() +
+        " --workers 1 --fault-spec solver_throw:0.3:7 --journal " +
+        journal.string() + " --events " + events.string());
+    EXPECT_EQ(exit_code, 0) << tag;  // faults are data, never infra errors
+    return std::make_pair(ParseEvents(events), ReadFile(journal));
+  };
+  const auto [run_a, journal_a] = chaos_run("a");
+  const auto [run_b, journal_b] = chaos_run("b");
+
+  EXPECT_EQ(run_a.jobs.size(), 22u);
+  EXPECT_EQ(run_a.batch_jobs, 22);
+  for (const auto& [label, job] : run_a.jobs) {
+    // Terminal: solved, or failed cleanly after the retry budget.
+    EXPECT_TRUE(job.status == "OK" || job.status == "Internal")
+        << label << ": " << job.status;
+  }
+  EXPECT_EQ(std::count(journal_a.begin(), journal_a.end(), '\n'), 22);
+  EXPECT_EQ(journal_a, journal_b);  // deterministic chaos
+}
+
+#ifndef _WIN32
+TEST(ServeChaosTest, SigtermThenResumeReplaysToByteIdenticalJournal) {
+  // 36 moderately slow grasp jobs. Reference run completes untouched; a
+  // second run is SIGTERMed mid-batch (exit 0, clean WAL prefix), then
+  // --resume must finish the remainder and leave the journal byte-identical
+  // to the reference.
+  const std::filesystem::path jobs = TempDir() / "resume_batch.jsonl";
+  {
+    std::ofstream out(jobs);
+    for (int i = 0; i < 36; ++i) {
+      out << R"({"id":"r)" << (i < 10 ? "0" : "") << i
+          << R"(","k":2,"backend":"grasp","seed":)" << (100 + i)
+          << R"(,"options":{"iterations":"30000"},"graph":)" << kTwoBlockGraph
+          << "}\n";
+    }
+  }
+
+  const std::filesystem::path reference = TempDir() / "journal_reference.jsonl";
+  ASSERT_EQ(RunServe("--jobs " + jobs.string() + " --workers 1 --journal " +
+                     reference.string()),
+            0);
+  ASSERT_EQ(CountLines(reference), 36);
+
+  // Interrupted run: spawn the server, wait for >= 3 journaled jobs, SIGTERM.
+  const std::filesystem::path journal = TempDir() / "journal_resume.jsonl";
+  std::filesystem::remove(journal);
+  const std::vector<std::string> args = {
+      "--jobs",    jobs.string(), "--workers", "1",
+      "--journal", journal.string()};
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    if (FILE* null = std::fopen("/dev/null", "w")) {
+      dup2(fileno(null), STDOUT_FILENO);
+      dup2(fileno(null), STDERR_FILENO);
+    }
+    std::vector<char*> argv;
+    std::string binary = QPLEX_SERVE_PATH;
+    argv.push_back(binary.data());
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  for (int spin = 0; spin < 2000 && CountLines(journal) < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(CountLines(journal), 3) << "server never journaled a job";
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int raw_status = 0;
+  ASSERT_EQ(waitpid(pid, &raw_status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(raw_status));
+  EXPECT_EQ(WEXITSTATUS(raw_status), 0);  // graceful: flush, then exit 0
+
+  // The WAL is a clean prefix of the reference (completed jobs only, in
+  // submission order, no torn tail).
+  const std::string prefix = ReadFile(journal);
+  ASSERT_EQ(ReadFile(reference).compare(0, prefix.size(), prefix), 0);
+
+  // Resume: skips journaled jobs, finishes the rest, byte-identical result.
+  ASSERT_EQ(RunServe("--jobs " + jobs.string() + " --workers 1 --resume " +
+                     " --journal " + journal.string()),
+            0);
+  EXPECT_EQ(ReadFile(journal), ReadFile(reference));
+}
+#endif  // !_WIN32
+
+TEST(ServeChaosTest, AdmissionBackoffAbsorbsQueuePressure) {
+  // One worker, queue capacity 1: most submissions bounce off the admission
+  // bound. The serve loop must absorb every rejection with backoff + drain
+  // (exit 0, all jobs solved) and record the waits it imposed.
+  const std::filesystem::path jobs = TempDir() / "pressure_batch.jsonl";
+  {
+    std::ofstream out(jobs);
+    for (int i = 0; i < 8; ++i) {
+      out << R"({"id":"p)" << i
+          << R"(","k":2,"backend":"grasp","seed":)" << (7 + i)
+          << R"(,"options":{"iterations":"100000"},"graph":)" << kTwoBlockGraph
+          << "}\n";
+    }
+  }
+  const std::filesystem::path report = TempDir() / "pressure_report.json";
+  const std::filesystem::path events = TempDir() / "events_pressure.jsonl";
+  ASSERT_EQ(RunServe("--jobs " + jobs.string() +
+                     " --workers 1 --queue-cap 1 --metrics-json " +
+                     report.string() + " --events " + events.string()),
+            0);
+  const BatchRun run = ParseEvents(events);
+  EXPECT_EQ(run.batch_jobs, 8);
+  EXPECT_EQ(run.batch_failed, 0);
+
+  const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(ReadFile(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* counters = parsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("svc.jobs.rejected"), nullptr);
+  EXPECT_GE(counters->Find("svc.jobs.rejected")->AsInt(), 1);
+  const obs::JsonValue* histograms = parsed.value().Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const obs::JsonValue* backoff = histograms->Find("svc.admission.backoff_ms");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_GE(backoff->Find("count")->AsInt(), 1);
 }
 
 }  // namespace

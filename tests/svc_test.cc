@@ -1,14 +1,19 @@
 // Tests of the solver service layer: canonical graph hashing, the LRU
 // instance cache and its counters, the backend registry, and the bounded
 // job scheduler (determinism across worker counts, deadline promptness,
-// cooperative cancellation, portfolio racing, backpressure).
+// cooperative cancellation, portfolio racing, backpressure, and the
+// resilience layer: fault injection, retry/backoff, fallback chains).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "classical/bs_solver.h"
@@ -19,6 +24,9 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "obs/metrics.h"
+#include "quantum/statevector.h"
+#include "resilience/fault_injection.h"
+#include "resilience/retry.h"
 #include "svc/cache.h"
 #include "svc/graph_hash.h"
 #include "svc/registry.h"
@@ -386,6 +394,337 @@ TEST_F(SchedulerTest, DestructorDrainsUnwaitedJobs) {
     // No Wait: the destructor must still execute everything.
   }
   EXPECT_EQ(CounterValue("svc.jobs.completed"), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience layer: fault injection, retry/backoff, fallback chains.
+
+TEST(FaultSpecTest, ParsesProbabilityEveryNAndSeeds) {
+  const auto rules =
+      resilience::ParseFaultSpec("solver_throw:0.3:7,io_read:5");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules.value().size(), 2u);
+  EXPECT_EQ(rules.value()[0].first, resilience::FaultSite::kSolverThrow);
+  EXPECT_DOUBLE_EQ(rules.value()[0].second.probability, 0.3);
+  EXPECT_EQ(rules.value()[0].second.every_n, 0);
+  EXPECT_EQ(rules.value()[0].second.seed, 7u);
+  // A plain integer rate means "every Nth call", seed defaults to 1.
+  EXPECT_EQ(rules.value()[1].first, resilience::FaultSite::kIoRead);
+  EXPECT_EQ(rules.value()[1].second.every_n, 5);
+  EXPECT_EQ(rules.value()[1].second.seed, 1u);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"nope:0.5", "alloc", "alloc:abc", "alloc:1.5", "alloc:0",
+        "alloc:-1", "alloc:0.5:xyz"}) {
+    EXPECT_FALSE(resilience::ParseFaultSpec(spec).ok()) << spec;
+  }
+}
+
+TEST(FaultInjectorTest, EveryNthTriggerIsExact) {
+  resilience::FaultInjector injector;
+  resilience::FaultRule rule;
+  rule.every_n = 3;
+  injector.Arm(resilience::FaultSite::kIoRead, rule);
+  EXPECT_TRUE(injector.enabled());
+  int fires = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (injector.ShouldFire(resilience::FaultSite::kIoRead)) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(injector.calls(resilience::FaultSite::kIoRead), 9);
+  EXPECT_EQ(injector.injected(resilience::FaultSite::kIoRead), 3);
+}
+
+TEST(FaultInjectorTest, ProbabilityTriggerIsDeterministicPerCallIndex) {
+  resilience::FaultRule rule;
+  rule.probability = 0.3;
+  rule.seed = 7;
+  auto pattern = [&] {
+    resilience::FaultInjector injector;
+    injector.Arm(resilience::FaultSite::kSolverThrow, rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(
+          injector.ShouldFire(resilience::FaultSite::kSolverThrow));
+    }
+    return fired;
+  };
+  const std::vector<bool> a = pattern();
+  const std::vector<bool> b = pattern();
+  EXPECT_EQ(a, b);
+  const long fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 0);   // p = 0.3 over 200 calls: some must fire...
+  EXPECT_LT(fires, 200); // ...and some must not.
+}
+
+TEST(FaultInjectorTest, ConfigureReplacesAndEmptySpecDisables) {
+  resilience::FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  ASSERT_TRUE(injector.Configure("io_read:2").ok());
+  EXPECT_TRUE(injector.enabled());
+  // An invalid spec must leave the current configuration untouched.
+  EXPECT_FALSE(injector.Configure("bogus:1").ok());
+  EXPECT_TRUE(injector.enabled());
+  ASSERT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFire(resilience::FaultSite::kIoRead));
+}
+
+TEST(BackoffTest, DeterministicBoundedAndResettable) {
+  resilience::BackoffOptions options;
+  options.base_ms = 1.0;
+  options.cap_ms = 50.0;
+  options.seed = 42;
+  resilience::Backoff a(options);
+  resilience::Backoff b(options);
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) {
+    const double delay = a.NextDelayMs();
+    EXPECT_GE(delay, options.base_ms);
+    EXPECT_LE(delay, options.cap_ms);
+    first.push_back(delay);
+    EXPECT_DOUBLE_EQ(b.NextDelayMs(), delay);
+  }
+  EXPECT_EQ(a.attempts(), 10);
+  a.Reset();
+  EXPECT_EQ(a.attempts(), 0);
+  for (const double delay : first) {
+    EXPECT_DOUBLE_EQ(a.NextDelayMs(), delay);  // Reset replays the sequence
+  }
+}
+
+TEST(ClassifyFailureTest, TaxonomyMatchesDesignTable) {
+  using resilience::ClassifyFailure;
+  using resilience::FailureClass;
+  EXPECT_EQ(ClassifyFailure(StatusCode::kInternal), FailureClass::kTransient);
+  EXPECT_EQ(ClassifyFailure(StatusCode::kResourceExhausted),
+            FailureClass::kDegradable);
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnimplemented}) {
+    EXPECT_EQ(ClassifyFailure(code), FailureClass::kPermanent)
+        << static_cast<int>(code);
+  }
+}
+
+TEST(RegistryTest, FallbackChainValidation) {
+  SolverRegistry registry = MakeBuiltinRegistry();
+  EXPECT_FALSE(registry.SetFallback("nope", "bs").ok());
+  EXPECT_FALSE(registry.SetFallback("bs", "nope").ok());
+  EXPECT_FALSE(registry.SetFallback("bs", "bs").ok());  // self-loop
+  ASSERT_TRUE(registry.SetFallback("sa", "bs").ok());
+  ASSERT_NE(registry.Fallback("sa"), nullptr);
+  EXPECT_EQ(*registry.Fallback("sa"), "bs");
+  EXPECT_EQ(registry.Fallback("grasp"), nullptr);
+}
+
+TEST(RegistryTest, BuiltinFallbackChainsDeclared) {
+  const SolverRegistry registry = MakeBuiltinRegistry();
+  ASSERT_NE(registry.Fallback("qtkp"), nullptr);
+  EXPECT_EQ(*registry.Fallback("qtkp"), "bs");
+  ASSERT_NE(registry.Fallback("qmkp"), nullptr);
+  EXPECT_EQ(*registry.Fallback("qmkp"), "bs");
+  ASSERT_NE(registry.Fallback("milp"), nullptr);
+  EXPECT_EQ(*registry.Fallback("milp"), "grasp");
+}
+
+/// Always throws: the scheduler's exception barrier must contain it.
+class ThrowingSolver : public Solver {
+ public:
+  std::string_view name() const override { return "boom"; }
+  Result<SolveOutcome> Solve(const SolveRequest&,
+                             const SolveContext&) const override {
+    throw std::runtime_error("synthetic backend crash");
+  }
+};
+
+/// Fails with kInternal `failures` times, then succeeds.
+class FlakySolver : public Solver {
+ public:
+  explicit FlakySolver(int failures) : failures_(failures) {}
+  std::string_view name() const override { return "flaky"; }
+  Result<SolveOutcome> Solve(const SolveRequest&,
+                             const SolveContext&) const override {
+    if (calls_.fetch_add(1) < failures_) {
+      return Status::Internal("flaky backend failure");
+    }
+    SolveOutcome outcome;
+    outcome.solution.size = 1;
+    outcome.solution.members = {0};
+    return outcome;
+  }
+
+ private:
+  int failures_;
+  mutable std::atomic<int> calls_{0};
+};
+
+/// Always fails with kResourceExhausted: must degrade, never retry.
+class OomSolver : public Solver {
+ public:
+  std::string_view name() const override { return "oom"; }
+  Result<SolveOutcome> Solve(const SolveRequest&,
+                             const SolveContext&) const override {
+    return Status::ResourceExhausted("synthetic memory budget breach");
+  }
+};
+
+JobSchedulerOptions FastRetryOptions() {
+  JobSchedulerOptions options;
+  options.retry.backoff_base_ms = 0.01;  // keep retry sleeps negligible
+  options.retry.backoff_cap_ms = 0.1;
+  return options;
+}
+
+TEST_F(SchedulerTest, ThrowingBackendBecomesInternalAndExhaustsRetries) {
+  obs::MetricsRegistry::Global().Reset();
+  SolverRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<ThrowingSolver>()).ok());
+  JobSchedulerOptions options = FastRetryOptions();
+  options.retry.max_retries = 2;
+  JobScheduler scheduler(&registry, options);
+
+  SolveRequest request = Request("boom");
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  // The throw is contained as a per-job status naming backend and what();
+  // the process (and the worker pool) survives.
+  EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+  EXPECT_NE(response.status.message().find("boom"), std::string::npos);
+  EXPECT_NE(response.status.message().find("synthetic backend crash"),
+            std::string::npos);
+  EXPECT_EQ(response.attempts, 3);  // 1 first attempt + 2 retries
+  EXPECT_EQ(CounterValue("svc.backend.boom.exceptions"), 3);
+  EXPECT_EQ(CounterValue("svc.retries.scheduled"), 2);
+  EXPECT_EQ(CounterValue("svc.retries.exhausted"), 1);
+
+  // The scheduler is still healthy: a follow-up job runs normally.
+  ASSERT_TRUE(scheduler.Submit(Request("boom")).ok());
+}
+
+TEST_F(SchedulerTest, TransientFailureRecoversViaRetry) {
+  obs::MetricsRegistry::Global().Reset();
+  SolverRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<FlakySolver>(2)).ok());
+  JobScheduler scheduler(&registry, FastRetryOptions());  // max_retries = 2
+
+  SolveRequest request = Request("flaky");
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.attempts, 3);
+  EXPECT_EQ(response.solution.size, 1);
+  EXPECT_EQ(CounterValue("svc.retries.scheduled"), 2);
+  EXPECT_EQ(CounterValue("svc.retries.exhausted"), 0);
+}
+
+TEST_F(SchedulerTest, ResourceExhaustedWalksFallbackChain) {
+  obs::MetricsRegistry::Global().Reset();
+  SolverRegistry registry = MakeBuiltinRegistry();
+  ASSERT_TRUE(registry.Register(std::make_unique<OomSolver>()).ok());
+  ASSERT_TRUE(registry.SetFallback("oom", "bs").ok());
+  JobScheduler scheduler(&registry, FastRetryOptions());
+
+  const Result<JobId> id = scheduler.Submit(Request("oom"));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.backend, "bs");
+  EXPECT_EQ(response.degraded_from, "oom");
+  EXPECT_NE(response.degradation_reason.find("synthetic memory budget"),
+            std::string::npos);
+  EXPECT_EQ(response.solution.size, 4);
+  EXPECT_TRUE(response.provably_optimal);
+  EXPECT_EQ(response.attempts, 1);  // degradable failures are not retried
+  EXPECT_EQ(CounterValue("svc.fallbacks.taken"), 1);
+
+  // Degraded answers are never cached (the key names the requested
+  // backend): a repeat submission walks the chain again.
+  const Result<JobId> again = scheduler.Submit(Request("oom"));
+  ASSERT_TRUE(again.ok());
+  const SolveResponse repeat = scheduler.Wait(again.value());
+  ASSERT_TRUE(repeat.status.ok()) << repeat.status;
+  EXPECT_EQ(CounterValue("svc.fallbacks.taken"), 2);
+  EXPECT_EQ(CounterValue("svc.cache.hits"), 0);
+}
+
+TEST_F(SchedulerTest, QtkpDegradesToBsUnderTinySimulationBudget) {
+  obs::MetricsRegistry::Global().Reset();
+  // 8 vertices need a 2^8-amplitude register (4096 bytes); a 256-byte
+  // budget forces qtkp into kResourceExhausted and down its chain to bs.
+  SetMaxSimulationBytes(256);
+  struct BudgetRestore {
+    ~BudgetRestore() { SetMaxSimulationBytes(0); }
+  } restore;
+
+  JobScheduler scheduler(&registry_, FastRetryOptions());
+  SolveRequest request = Request("qtkp");
+  request.options["threshold"] = "4";
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  const SolveResponse response = scheduler.Wait(id.value());
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.backend, "bs");
+  EXPECT_EQ(response.degraded_from, "qtkp");
+  EXPECT_NE(response.degradation_reason.find("simulation budget"),
+            std::string::npos);
+  EXPECT_EQ(response.solution.size, 4);
+  EXPECT_EQ(CounterValue("svc.fallbacks.taken"), 1);
+}
+
+TEST_F(SchedulerTest, CacheInsertFaultDropsInsertSafely) {
+  obs::MetricsRegistry::Global().Reset();
+  resilience::FaultInjector& injector = resilience::FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("cache_insert:1:1").ok());
+  struct InjectorRestore {
+    ~InjectorRestore() { resilience::FaultInjector::Global().Reset(); }
+  } restore;
+
+  JobScheduler scheduler(&registry_);  // cache enabled
+  for (int round = 0; round < 2; ++round) {
+    const Result<JobId> id = scheduler.Submit(Request("bs"));
+    ASSERT_TRUE(id.ok()) << id.status();
+    const SolveResponse response = scheduler.Wait(id.value());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.solution.size, 4);
+  }
+  // Every insert was dropped, so the repeat run could not hit the cache —
+  // a lost cache entry degrades throughput, never correctness.
+  EXPECT_EQ(CounterValue("svc.cache.dropped_inserts"), 2);
+  EXPECT_EQ(CounterValue("svc.cache.hits"), 0);
+}
+
+TEST_F(SchedulerTest, CancelWhileBlockedInWait) {
+  // qplex_serve's signal watcher cancels the job the main thread is
+  // currently Wait()ing on; the job must stay addressable during the wait.
+  JobScheduler scheduler(&registry_);
+  SolveRequest request = Request("grasp");
+  request.graph = RandomGnm(48, 400, 13).value();
+  request.options["iterations"] = "100000000";
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  std::thread canceller([&scheduler, &id] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    scheduler.Cancel(id.value());
+  });
+  const SolveResponse response = scheduler.Wait(id.value());
+  canceller.join();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(response.solution.size, 1);  // incumbent attached
+}
+
+TEST_F(SchedulerTest, SecondWaitOnConsumedJobFails) {
+  JobScheduler scheduler(&registry_);
+  const Result<JobId> id = scheduler.Submit(Request("bs"));
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(scheduler.Wait(id.value()).status.ok());
+  EXPECT_EQ(scheduler.Wait(id.value()).status.code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -37,6 +37,8 @@ struct CliOptions {
   bool verbose_trace = false;
   std::string events;  // empty = no event stream; "-" = stdout
   int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
+  std::string fault_spec;           // arms the deterministic fault injector
+  std::uint64_t max_sim_bytes = 0;  // 0 = keep the default 4 GiB budget
 };
 
 void PrintUsage() {
@@ -46,7 +48,9 @@ void PrintUsage() {
                "                 [--threads <int>] [--metrics-json <file|->] "
                "[--verbose-trace]\n"
                "                 [--events <file|->] "
-               "[--progress-interval-ms <int>]\n";
+               "[--progress-interval-ms <int>]\n"
+               "                 [--fault-spec site:rate[:seed]] "
+               "[--max-sim-bytes <int>]\n";
 }
 
 /// Strict whole-string integer parse into `T`; rejects trailing junk,
@@ -99,6 +103,19 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.progress_interval_ms,
                              ParseInt<int>(arg, value));
+    } else if (arg == "--fault-spec") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      if (!options.fault_spec.empty()) {
+        options.fault_spec += ",";
+      }
+      options.fault_spec += value;
+    } else if (arg == "--max-sim-bytes") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.max_sim_bytes,
+                             ParseInt<std::uint64_t>(arg, value));
+      if (options.max_sim_bytes == 0) {
+        return Status::InvalidArgument("--max-sim-bytes must be >= 1");
+      }
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -214,6 +231,18 @@ int Main(int argc, char** argv) {
     std::cerr << options.status() << "\n";
     PrintUsage();
     return 2;
+  }
+  if (!options.value().fault_spec.empty()) {
+    const Status armed = resilience::FaultInjector::Global().Configure(
+        options.value().fault_spec);
+    if (!armed.ok()) {
+      std::cerr << armed << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.value().max_sim_bytes > 0) {
+    SetMaxSimulationBytes(options.value().max_sim_bytes);
   }
   const Result<Graph> graph = LoadGraph(options.value());
   if (!graph.ok()) {

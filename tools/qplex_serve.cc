@@ -5,6 +5,9 @@
 //   qplex_serve --jobs <file|-> [--workers N] [--queue-cap N]
 //               [--events <file|->] [--cache on|off]
 //               [--metrics-json <file|->] [--progress-interval-ms N]
+//               [--journal <file>] [--resume]
+//               [--fault-spec site:rate[:seed]] [--max-sim-bytes N]
+//               [--max-retries N]
 //
 // One JSON object per input line:
 //
@@ -20,14 +23,28 @@
 // fixed seeds the solutions are identical for any --workers value; malformed
 // request lines fail the batch (exit 2), solver-level job failures are
 // reported per job and summarised in batch_end.
+//
+// Crash safety: --journal appends one timestamp-free JSON line per finished
+// job (the WAL), flushed line-by-line, and SIGINT/SIGTERM gracefully stop
+// the batch — in-flight jobs are cancelled, the journal is flushed, and
+// batch_end carries interrupted:true. Restarting with --resume validates the
+// journal prefix against the job file, skips the journaled jobs, and appends
+// the rest, so the final journal is byte-identical to an uninterrupted run.
+// --fault-spec arms the deterministic fault injector (DESIGN.md section 10).
 
+#include <atomic>
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -35,6 +52,12 @@
 
 namespace qplex {
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; polled by the batch loop and the
+/// cancellation watcher. Async-signal-safe by construction (one store).
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
 
 struct ServeOptions {
   std::string jobs;  // job file; "-" = stdin
@@ -44,6 +67,11 @@ struct ServeOptions {
   bool cache = true;
   std::string metrics_json;
   int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
+  std::string journal;       // WAL path; empty = no journaling
+  bool resume = false;       // skip jobs already journaled
+  std::string fault_spec;    // forwarded to the global FaultInjector
+  std::uint64_t max_sim_bytes = 0;  // 0 = keep the default budget
+  int max_retries = 2;
 };
 
 void PrintUsage() {
@@ -51,7 +79,11 @@ void PrintUsage() {
                "[--queue-cap <int>]\n"
                "                   [--events <file|->] [--cache on|off]\n"
                "                   [--metrics-json <file|->] "
-               "[--progress-interval-ms <int>]\n";
+               "[--progress-interval-ms <int>]\n"
+               "                   [--journal <file>] [--resume]\n"
+               "                   [--fault-spec site:rate[:seed]] "
+               "[--max-sim-bytes <int>]\n"
+               "                   [--max-retries <int>]\n";
 }
 
 template <typename T>
@@ -99,6 +131,27 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.progress_interval_ms,
                              ParseInt<int>(arg, value));
+    } else if (arg == "--journal") {
+      QPLEX_ASSIGN_OR_RETURN(options.journal, next());
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--fault-spec") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      // Repeated flags accumulate into one comma-joined spec.
+      if (!options.fault_spec.empty()) {
+        options.fault_spec += ",";
+      }
+      options.fault_spec += value;
+    } else if (arg == "--max-sim-bytes") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.max_sim_bytes,
+                             ParseInt<std::uint64_t>(arg, value));
+      if (options.max_sim_bytes == 0) {
+        return Status::InvalidArgument("--max-sim-bytes must be >= 1");
+      }
+    } else if (arg == "--max-retries") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.max_retries, ParseInt<int>(arg, value));
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -116,6 +169,12 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.progress_interval_ms < 1) {
     return Status::InvalidArgument("--progress-interval-ms must be >= 1");
+  }
+  if (options.resume && options.journal.empty()) {
+    return Status::InvalidArgument("--resume requires --journal");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("--max-retries must be >= 0");
   }
   return options;
 }
@@ -276,51 +335,245 @@ Result<std::vector<JobSpec>> ReadJobs(const std::string& path) {
   return specs;
 }
 
-/// Executes the whole batch with submission-order Wait()s; backpressure
-/// rejections retry after draining the oldest outstanding job.
-Result<int> RunBatch(svc::JobScheduler* scheduler, std::vector<JobSpec> specs) {
-  int failures = 0;
-  std::deque<svc::JobId> outstanding;
+std::string MembersToString(const VertexList& members) {
+  std::string joined;
+  for (Vertex v : members) {
+    if (!joined.empty()) {
+      joined += " ";
+    }
+    joined += std::to_string(v);
+  }
+  return joined;
+}
+
+/// One WAL line. Deliberately timestamp- and wall-clock-free so the journal
+/// of a resumed batch is byte-identical to an uninterrupted run.
+void WriteJournalLine(std::ostream& out, const std::string& label,
+                      const svc::SolveResponse& response) {
+  obs::JsonValue line = obs::JsonValue::Object();
+  line.Set("label", label);
+  line.Set("status", std::string(StatusCodeName(response.status.code())));
+  line.Set("backend", response.backend);
+  line.Set("size", response.solution.size);
+  line.Set("members", MembersToString(response.solution.members));
+  line.Set("provably_optimal", response.provably_optimal);
+  line.Set("attempts", response.attempts);
+  line.Set("degraded_from", response.degraded_from);
+  line.Set("degradation_reason", response.degradation_reason);
+  out << line.Dump() << "\n" << std::flush;
+}
+
+struct JournalEntry {
+  std::string label;
+  std::string status;
+  std::string line;  ///< the raw serialized form, without the newline
+};
+
+/// Reads the valid prefix of a WAL. A torn tail line (the process died
+/// mid-write) is dropped; anything after the first malformed line is
+/// discarded with it.
+Result<std::vector<JournalEntry>> ReadJournal(const std::string& path) {
+  std::vector<JournalEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    return entries;  // no journal yet: a fresh run
+  }
+  std::string text;
+  while (std::getline(in, text)) {
+    Result<obs::JsonValue> parsed = obs::JsonValue::Parse(text);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      break;
+    }
+    const obs::JsonValue* label = parsed.value().Find("label");
+    const obs::JsonValue* status = parsed.value().Find("status");
+    if (label == nullptr || !label->is_string() || status == nullptr ||
+        !status->is_string()) {
+      break;
+    }
+    entries.push_back(
+        JournalEntry{label->AsString(), status->AsString(), text});
+  }
+  return entries;
+}
+
+struct BatchOutcome {
+  int failures = 0;   ///< non-OK jobs, journaled replays included
+  int skipped = 0;    ///< jobs satisfied from the journal
+  bool interrupted = false;
+};
+
+/// Executes the whole batch with submission-order Wait()s. Backpressure
+/// rejections drain the oldest outstanding job, then back off with
+/// decorrelated jitter (recorded in svc.admission.backoff_ms) instead of
+/// hot-spinning. `journaled` jobs are skipped; on SIGINT/SIGTERM the loop
+/// stops submitting, a watcher cancels everything in flight, and journaling
+/// stops so the WAL stays a clean prefix of the uninterrupted run.
+Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
+                              std::vector<JobSpec> specs,
+                              std::ostream* journal,
+                              const std::vector<JournalEntry>& journaled) {
+  BatchOutcome outcome;
+  if (journaled.size() > specs.size()) {
+    return Status::InvalidArgument(
+        "journal has " + std::to_string(journaled.size()) +
+        " entries but the batch only has " + std::to_string(specs.size()) +
+        " jobs — wrong journal for this job file?");
+  }
+  for (std::size_t i = 0; i < journaled.size(); ++i) {
+    if (journaled[i].label != specs[i].request.label) {
+      return Status::InvalidArgument(
+          "journal entry " + std::to_string(i + 1) + " is for job '" +
+          journaled[i].label + "' but the job file has '" +
+          specs[i].request.label + "' — wrong journal for this job file?");
+    }
+    if (journaled[i].status != "OK") {
+      ++outcome.failures;
+    }
+    ++outcome.skipped;
+    obs::EmitEvent(obs::EventLevel::kInfo, "svc", "job_replayed",
+                   {{"label", journaled[i].label},
+                    {"status", journaled[i].status}});
+  }
+
+  std::mutex mutex;
+  std::deque<std::pair<svc::JobId, const JobSpec*>> outstanding;
+  std::atomic<bool> done{false};
+  // On a signal, cancel every in-flight job (repeatedly — cancellation is
+  // idempotent and new jobs cannot be submitted once g_signal is set). This
+  // runs in a thread because the batch loop itself blocks inside Wait().
+  std::thread watcher([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (g_signal != 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto& [id, spec] : outstanding) {
+          scheduler->Cancel(id);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  struct WatcherJoiner {
+    std::atomic<bool>& done;
+    std::thread& watcher;
+    ~WatcherJoiner() {
+      done.store(true, std::memory_order_relaxed);
+      watcher.join();
+    }
+  } joiner{done, watcher};
+
   auto drain_one = [&] {
-    const svc::SolveResponse response = scheduler->Wait(outstanding.front());
-    outstanding.pop_front();
+    svc::JobId id;
+    const JobSpec* spec;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      std::tie(id, spec) = outstanding.front();
+    }
+    const svc::SolveResponse response = scheduler->Wait(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      outstanding.pop_front();
+    }
     if (!response.status.ok()) {
-      ++failures;
+      ++outcome.failures;
+    }
+    // Once a signal landed, responses are from cancelled jobs — don't
+    // journal them, so --resume recomputes them with full budgets.
+    if (journal != nullptr && g_signal == 0) {
+      WriteJournalLine(*journal, spec->request.label, response);
     }
   };
-  for (JobSpec& spec : specs) {
+
+  resilience::BackoffOptions admission_backoff_options;
+  admission_backoff_options.base_ms = 0.5;
+  admission_backoff_options.cap_ms = 20;
+  admission_backoff_options.seed = 0xad715510;
+  resilience::Backoff admission_backoff(admission_backoff_options);
+
+  for (std::size_t i = journaled.size(); i < specs.size(); ++i) {
+    JobSpec& spec = specs[i];
+    if (g_signal != 0) {
+      outcome.interrupted = true;
+      break;
+    }
     while (true) {
       Result<svc::JobId> submitted =
           spec.backends.empty()
               ? scheduler->Submit(spec.request)
               : scheduler->SubmitPortfolio(spec.request, spec.backends);
       if (submitted.ok()) {
-        outstanding.push_back(submitted.value());
+        std::lock_guard<std::mutex> lock(mutex);
+        outstanding.emplace_back(submitted.value(), &spec);
+        admission_backoff.Reset();
         break;
       }
       if (submitted.status().code() != StatusCode::kResourceExhausted) {
         return submitted.status();
       }
-      if (outstanding.empty()) {
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        empty = outstanding.empty();
+      }
+      if (empty) {
         // Queue smaller than one job's racer count: a config error, not
         // transient backpressure.
         return submitted.status();
       }
       drain_one();
+      if (g_signal != 0) {
+        break;  // re-checked at the top of the outer loop
+      }
+      const double delay_ms = admission_backoff.NextDelayMs();
+      obs::MetricsRegistry::Global()
+          .GetHistogram("svc.admission.backoff_ms")
+          .Record(delay_ms);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
     }
   }
-  while (!outstanding.empty()) {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (outstanding.empty()) {
+        break;
+      }
+    }
     drain_one();
   }
-  return failures;
+  if (g_signal != 0) {
+    outcome.interrupted = true;
+  }
+  if (journal != nullptr) {
+    journal->flush();
+  }
+  return outcome;
 }
 
 int Main(int argc, char** argv) {
+  // Handlers go in before anything else so a signal during startup already
+  // takes the graceful path.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   const Result<ServeOptions> options = ParseArgs(argc, argv);
   if (!options.ok()) {
     std::cerr << options.status() << "\n";
     PrintUsage();
     return 2;
+  }
+
+  if (!options.value().fault_spec.empty()) {
+    const Status armed =
+        resilience::FaultInjector::Global().Configure(
+            options.value().fault_spec);
+    if (!armed.ok()) {
+      std::cerr << armed << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.value().max_sim_bytes > 0) {
+    SetMaxSimulationBytes(options.value().max_sim_bytes);
   }
 
   std::unique_ptr<obs::EventSink> events;
@@ -345,6 +598,33 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  // Journal setup. On --resume the valid prefix of the existing WAL is kept
+  // (a torn tail line from a hard crash is truncated away) and the stream
+  // reopens right after it; otherwise the journal starts fresh.
+  std::vector<JournalEntry> journaled;
+  std::unique_ptr<std::ofstream> journal;
+  if (!options.value().journal.empty()) {
+    if (options.value().resume) {
+      Result<std::vector<JournalEntry>> read =
+          ReadJournal(options.value().journal);
+      if (!read.ok()) {
+        std::cerr << "failed to read journal: " << read.status() << "\n";
+        return 2;
+      }
+      journaled = std::move(read).value();
+    }
+    journal = std::make_unique<std::ofstream>(options.value().journal,
+                                              std::ios::trunc);
+    if (!*journal) {
+      std::cerr << "cannot open journal: " << options.value().journal << "\n";
+      return 2;
+    }
+    for (const JournalEntry& entry : journaled) {
+      *journal << entry.line << "\n";
+    }
+    journal->flush();
+  }
+
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
 
@@ -354,34 +634,42 @@ int Main(int argc, char** argv) {
   scheduler_options.queue_capacity =
       static_cast<std::size_t>(options.value().queue_cap);
   scheduler_options.enable_cache = options.value().cache;
+  scheduler_options.retry.max_retries = options.value().max_retries;
 
   obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
                  {{"jobs", static_cast<std::int64_t>(specs.value().size())},
                   {"workers", options.value().workers},
                   {"queue_cap", options.value().queue_cap},
-                  {"cache", options.value().cache}});
+                  {"cache", options.value().cache},
+                  {"resumed", static_cast<std::int64_t>(journaled.size())}});
   Stopwatch watch;
-  Result<int> failures = 0;
+  Result<BatchOutcome> outcome = BatchOutcome{};
   {
     svc::JobScheduler scheduler(&registry, scheduler_options);
-    failures = RunBatch(&scheduler, std::move(specs).value());
+    outcome = RunBatch(&scheduler, std::move(specs).value(), journal.get(),
+                       journaled);
   }
   const double wall_seconds = watch.ElapsedSeconds();
-  if (!failures.ok()) {
+  if (!outcome.ok()) {
     obs::EmitEvent(obs::EventLevel::kWarn, "svc", "batch_error",
-                   {{"status", failures.status().ToString()},
+                   {{"status", outcome.status().ToString()},
                     {"wall_seconds", wall_seconds}});
-    std::cerr << "batch failed: " << failures.status() << "\n";
+    std::cerr << "batch failed: " << outcome.status() << "\n";
     return 2;
   }
 
   auto& metrics = obs::MetricsRegistry::Global();
   const std::int64_t total =
-      metrics.GetCounter("svc.jobs.completed").Get();
+      metrics.GetCounter("svc.jobs.completed").Get() +
+      static_cast<std::int64_t>(outcome.value().skipped);
   obs::EmitEvent(
       obs::EventLevel::kInfo, "svc", "batch_end",
       {{"jobs", total},
-       {"failed", failures.value()},
+       {"failed", outcome.value().failures},
+       {"skipped", outcome.value().skipped},
+       {"interrupted", outcome.value().interrupted},
+       {"retries", metrics.GetCounter("svc.retries.scheduled").Get()},
+       {"fallbacks", metrics.GetCounter("svc.fallbacks.taken").Get()},
        {"cache_hits", metrics.GetCounter("svc.cache.hits").Get()},
        {"cache_misses", metrics.GetCounter("svc.cache.misses").Get()},
        {"wall_seconds", wall_seconds},
@@ -391,7 +679,9 @@ int Main(int argc, char** argv) {
   if (!options.value().metrics_json.empty()) {
     obs::RunReport report("qplex_serve");
     report.SetMeta("jobs", total);
-    report.SetMeta("failed", failures.value());
+    report.SetMeta("failed", outcome.value().failures);
+    report.SetMeta("skipped", outcome.value().skipped);
+    report.SetMeta("interrupted", outcome.value().interrupted);
     report.SetMeta("workers", options.value().workers);
     report.SetMeta("cache", options.value().cache);
     report.SetMeta("wall_seconds", wall_seconds);

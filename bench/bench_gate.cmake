@@ -4,6 +4,7 @@
 #         -P bench_gate.cmake
 #   cmake -DMODE=check   -DBENCH_BINARIES=<bin|bin|...> -DOUT_DIR=<dir> \
 #         -DBASELINE_DIR=<dir> -DBENCHDIFF=<qplex_benchdiff> \
+#         [-DBENCHDIFF_CONFIG=<rules.json>] \
 #         -DDIFF_OUT=<file> -P bench_gate.cmake
 #
 # capture: runs every bench binary with QPLEX_BENCH_REPORT_DIR=OUT_DIR so the
@@ -44,8 +45,13 @@ if(NOT DEFINED BASELINE_DIR OR NOT DEFINED BENCHDIFF)
   message(FATAL_ERROR "bench_gate: check mode needs -DBASELINE_DIR= and -DBENCHDIFF=")
 endif()
 
+set(_config_args "")
+if(DEFINED BENCHDIFF_CONFIG)
+  set(_config_args --config ${BENCHDIFF_CONFIG})
+endif()
 execute_process(
   COMMAND ${BENCHDIFF} --baseline ${BASELINE_DIR} --candidate ${OUT_DIR}
+          ${_config_args}
   RESULT_VARIABLE _diff_exit
   OUTPUT_VARIABLE _diff_out
   ERROR_VARIABLE _diff_err)

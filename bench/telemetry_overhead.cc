@@ -1,0 +1,159 @@
+// Telemetry-overhead bench: proves the scheduler's event emission is free
+// when no sink is installed, and bounds what tracing costs when one is.
+//
+//  1. Events off (gated): a 12-job bs batch with no global EventSink. The
+//     svc.events.payloads_built counter — incremented inside every
+//     EventsEnabled() block that assembles a job_start/job_end/job_retry/
+//     job_fallback payload — must stay exactly 0: the disabled hot path
+//     builds no payload strings, copies no option maps, derives no span ids.
+//     A non-zero count is a hard bench failure (exit 1), not a warning.
+//
+//  2. Events on (gated): the same batch against a file sink. Every job now
+//     assembles exactly one job_start and one job_end payload (no faults are
+//     armed, so no retry/fallback lines), making the counter a deterministic
+//     2 * jobs. The full request-scoped span machinery is live too: racer /
+//     attempt / solve scopes, span-id hashing, collector flush.
+//
+// Wall-clocks for both phases and their ratio land in report meta (names
+// carry "wall" so benchdiff treats any drift as warn-only timing noise); the
+// gated counters are pure functions of the batch shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "svc/registry.h"
+#include "svc/scheduler.h"
+#include "svc/solver.h"
+
+namespace qplex {
+namespace {
+
+constexpr int kJobs = 12;
+
+/// Submits `requests` on a fresh single-use scheduler, waits for all of
+/// them, and returns the summed solution size (every job must end OK).
+std::int64_t RunBatch(const svc::SolverRegistry& registry, int workers,
+                      const std::vector<svc::SolveRequest>& requests) {
+  svc::JobSchedulerOptions options;
+  options.num_workers = workers;
+  options.enable_cache = false;
+  svc::JobScheduler scheduler(&registry, options);
+  std::vector<svc::JobId> ids;
+  for (const svc::SolveRequest& request : requests) {
+    const Result<svc::JobId> id = scheduler.Submit(request);
+    QPLEX_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  std::int64_t total_size = 0;
+  for (const svc::JobId id : ids) {
+    const svc::SolveResponse response = scheduler.Wait(id);
+    QPLEX_CHECK(response.status.ok()) << response.status.ToString();
+    total_size += response.solution.size;
+  }
+  return total_size;
+}
+
+std::vector<svc::SolveRequest> BsBatch(int jobs) {
+  std::vector<svc::SolveRequest> requests;
+  for (int i = 0; i < jobs; ++i) {
+    svc::SolveRequest request;
+    request.graph = RandomGnm(18 + i % 3, 60 + 5 * (i % 3), 1 + i).value();
+    request.k = 2 + i % 2;
+    request.backend = "bs";
+    request.seed = 5;
+    request.label = "telemetry-" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::int64_t PayloadsBuilt() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter("svc.events.payloads_built")
+      .Get();
+}
+
+}  // namespace
+}  // namespace qplex
+
+int main() {
+  using namespace qplex;
+  const svc::SolverRegistry registry = svc::MakeBuiltinRegistry();
+  const std::vector<svc::SolveRequest> batch = BsBatch(kJobs);
+
+  std::cout << "Telemetry bench\n\n-- phase 1: events disabled --\n";
+  obs::MetricsRegistry::Global().Reset();
+  Stopwatch off_watch;
+  const std::int64_t off_size = RunBatch(registry, 2, batch);
+  const double off_wall = off_watch.ElapsedSeconds();
+  const std::int64_t off_payloads = PayloadsBuilt();
+  std::cout << "  " << kJobs << " jobs, summed size " << off_size
+            << ", payloads built " << off_payloads << ", wall " << off_wall
+            << " s\n";
+  if (off_payloads != 0) {
+    std::cerr << "FAIL: " << off_payloads
+              << " event payloads were assembled with no sink installed; the "
+                 "disabled hot path must build zero\n";
+    return 1;
+  }
+
+  std::cout << "\n-- phase 2: events enabled --\n";
+  const std::string events_path =
+      (std::filesystem::temp_directory_path() / "qplex_telemetry_bench.jsonl")
+          .string();
+  Result<std::unique_ptr<obs::EventSink>> sink =
+      obs::EventSink::Open(events_path);
+  QPLEX_CHECK(sink.ok()) << sink.status().ToString();
+  obs::EventSink::InstallGlobal(sink.value().get());
+  Stopwatch on_watch;
+  const std::int64_t on_size = RunBatch(registry, 2, batch);
+  const double on_wall = on_watch.ElapsedSeconds();
+  obs::EventSink::InstallGlobal(nullptr);
+  const std::int64_t on_payloads = PayloadsBuilt();
+  const std::int64_t event_lines = sink.value()->lines_written();
+  sink.value().reset();
+  std::remove(events_path.c_str());
+  std::cout << "  " << kJobs << " jobs, summed size " << on_size
+            << ", payloads built " << on_payloads << " (" << event_lines
+            << " lines), wall " << on_wall << " s\n";
+  QPLEX_CHECK(on_size == off_size) << "tracing changed solver results";
+  QPLEX_CHECK(on_payloads == 2 * kJobs)
+      << "expected one job_start + one job_end payload per job, got "
+      << on_payloads;
+
+  const double ratio = off_wall > 0 ? on_wall / off_wall : 0;
+  std::cout << "\n  events-on/off wall ratio: " << ratio << "\n";
+
+  // Rebuild the registry with only the deterministic telemetry counters so
+  // the gated report never carries racy timing histograms.
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("telemetry.jobs").Add(kJobs);
+  metrics.GetCounter("telemetry.payloads_built_events_off").Add(off_payloads);
+  metrics.GetCounter("telemetry.payloads_built_events_on").Add(on_payloads);
+  metrics.GetCounter("telemetry.solution_size").Add(off_size);
+
+  obs::RunReport report("Telemetry");
+  report.SetMeta("jobs", kJobs);
+  report.SetMeta("events_off_wall_seconds", off_wall);
+  report.SetMeta("events_on_wall_seconds", on_wall);
+  report.SetMeta("overhead_wall_ratio", ratio);
+  report.SetMeta("event_lines_written", event_lines);
+  report.Capture();
+  bench::EmitBenchReport(report);
+  return 0;
+}

@@ -1,0 +1,324 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace qplex::obs {
+namespace {
+
+constexpr std::string_view kZeroId = "0000000000000000";
+
+std::string GetString(const JsonValue& line, std::string_view key) {
+  const JsonValue* value = line.Find(key);
+  return value != nullptr && value->is_string() ? value->AsString() : "";
+}
+
+std::int64_t GetInt(const JsonValue& line, std::string_view key) {
+  const JsonValue* value = line.Find(key);
+  return value != nullptr && value->is_number()
+             ? static_cast<std::int64_t>(value->AsDouble())
+             : 0;
+}
+
+double GetDouble(const JsonValue& line, std::string_view key) {
+  const JsonValue* value = line.Find(key);
+  return value != nullptr && value->is_number() ? value->AsDouble() : 0;
+}
+
+bool GetBool(const JsonValue& line, std::string_view key) {
+  const JsonValue* value = line.Find(key);
+  return value != nullptr && value->is_bool() && value->AsBool();
+}
+
+void AppendNode(const SpanTreeNode& node, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += node.record.name;
+  *out += "  count=" + std::to_string(node.record.count) + "\n";
+  for (const SpanTreeNode& child : node.children) {
+    AppendNode(child, depth + 1, out);
+  }
+}
+
+void FoldNode(const SpanTreeNode& node,
+              std::map<std::string, std::int64_t>* folded) {
+  std::string stack = node.record.path;
+  std::replace(stack.begin(), stack.end(), '/', ';');
+  (*folded)[stack] += node.record.count;
+  for (const SpanTreeNode& child : node.children) {
+    FoldNode(child, folded);
+  }
+}
+
+std::string FormatMs(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+/// Exact order statistic: value at quantile p of a sorted sample.
+double PercentileOf(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Result<EventLog> LoadEventLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open events file: " + path);
+  }
+  EventLog log;
+  std::string text;
+  while (std::getline(in, text)) {
+    ++log.lines;
+    if (text.empty()) {
+      continue;
+    }
+    auto parsed = JsonValue::Parse(text);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      ++log.malformed;
+      continue;
+    }
+    const JsonValue& line = parsed.value();
+    const std::string event = GetString(line, "event");
+    if (event == "span") {
+      SpanRecord span;
+      span.trace = GetString(line, "trace");
+      span.span = GetString(line, "span");
+      span.parent = GetString(line, "parent");
+      span.name = GetString(line, "name");
+      span.path = GetString(line, "path");
+      span.count = GetInt(line, "count");
+      span.total_ms = GetDouble(line, "dur_ms");
+      if (!span.trace.empty() && !span.span.empty()) {
+        log.spans.push_back(std::move(span));
+      } else {
+        ++log.malformed;
+      }
+    } else if (event == "job_end") {
+      JobRecord job;
+      job.job = GetInt(line, "job");
+      job.label = GetString(line, "label");
+      job.trace = GetString(line, "trace");
+      job.backend = GetString(line, "backend");
+      job.status = GetString(line, "status");
+      job.degraded_from = GetString(line, "degraded_from");
+      job.queue_seconds = GetDouble(line, "queue_seconds");
+      job.wall_seconds = GetDouble(line, "wall_seconds");
+      job.attempts = GetInt(line, "attempts");
+      job.size = GetInt(line, "size");
+      job.cache_hit = GetBool(line, "cache_hit");
+      log.jobs.push_back(std::move(job));
+    } else if (event == "job_replayed") {
+      log.replayed_labels.push_back(GetString(line, "label"));
+    } else if (event == "job_retry") {
+      ++log.retries;
+    } else if (event == "job_fallback") {
+      ++log.fallbacks;
+    }
+  }
+  return log;
+}
+
+std::vector<TraceSummary> BuildTraceForest(const EventLog& log) {
+  // Merge span lines sharing (trace, span id): the same structural span is
+  // flushed once per attempt/racer and must re-aggregate here.
+  std::map<std::string, std::map<std::string, SpanRecord>> merged;
+  for (const SpanRecord& span : log.spans) {
+    SpanRecord& slot = merged[span.trace][span.span];
+    if (slot.span.empty()) {
+      slot = span;
+    } else {
+      slot.count += span.count;
+      slot.total_ms += span.total_ms;
+    }
+  }
+
+  std::vector<TraceSummary> forest;
+  for (auto& [trace, spans] : merged) {
+    TraceSummary summary;
+    summary.trace = trace;
+    summary.label = "?";
+    for (const JobRecord& job : log.jobs) {
+      if (job.trace == trace) {
+        summary.label = job.label;
+        summary.job = job.job;
+        summary.backend = job.backend;
+        summary.status = job.status;
+        break;
+      }
+    }
+
+    std::map<std::string, std::vector<const SpanRecord*>> children_of;
+    std::vector<const SpanRecord*> roots;
+    for (const auto& [span_id, record] : spans) {
+      if (record.parent == kZeroId) {
+        roots.push_back(&record);
+      } else if (spans.find(record.parent) == spans.end()) {
+        summary.orphans.push_back(record);
+      } else {
+        children_of[record.parent].push_back(&record);
+      }
+    }
+    const auto by_path = [](const SpanRecord* a, const SpanRecord* b) {
+      return a->path < b->path;
+    };
+    std::sort(roots.begin(), roots.end(), by_path);
+    for (auto& [parent, kids] : children_of) {
+      std::sort(kids.begin(), kids.end(), by_path);
+    }
+    std::sort(summary.orphans.begin(), summary.orphans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.path < b.path;
+              });
+
+    // Assemble recursively; the visited set makes malformed input (a parent
+    // cycle from hand-edited logs) terminate instead of recursing forever.
+    std::set<std::string> visited;
+    const std::function<SpanTreeNode(const SpanRecord&)> assemble =
+        [&](const SpanRecord& record) {
+          SpanTreeNode node;
+          node.record = record;
+          if (!visited.insert(record.span).second) {
+            return node;
+          }
+          const auto it = children_of.find(record.span);
+          if (it != children_of.end()) {
+            for (const SpanRecord* child : it->second) {
+              node.children.push_back(assemble(*child));
+            }
+          }
+          return node;
+        };
+    for (const SpanRecord* root : roots) {
+      summary.roots.push_back(assemble(*root));
+    }
+    forest.push_back(std::move(summary));
+  }
+
+  std::sort(forest.begin(), forest.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return std::tie(a.label, a.trace) < std::tie(b.label, b.trace);
+            });
+  return forest;
+}
+
+std::size_t CountOrphans(const std::vector<TraceSummary>& forest) {
+  std::size_t orphans = 0;
+  for (const TraceSummary& summary : forest) {
+    orphans += summary.orphans.size();
+  }
+  return orphans;
+}
+
+std::string FormatTraceForest(const std::vector<TraceSummary>& forest) {
+  std::string out;
+  for (const TraceSummary& summary : forest) {
+    out += "trace " + summary.trace + " label=" + summary.label;
+    if (summary.job >= 0) {
+      out += " job=" + std::to_string(summary.job) +
+             " backend=" + summary.backend + " status=" + summary.status;
+    }
+    out += "\n";
+    for (const SpanTreeNode& root : summary.roots) {
+      AppendNode(root, 1, &out);
+    }
+    for (const SpanRecord& orphan : summary.orphans) {
+      out += "  ORPHAN " + orphan.path + "  parent=" + orphan.parent + "\n";
+    }
+  }
+  if (out.empty()) {
+    out = "(no spans recorded)\n";
+  }
+  return out;
+}
+
+std::string FormatFoldedStacks(const std::vector<TraceSummary>& forest) {
+  std::map<std::string, std::int64_t> folded;
+  for (const TraceSummary& summary : forest) {
+    for (const SpanTreeNode& root : summary.roots) {
+      FoldNode(root, &folded);
+    }
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack + " " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string FormatLatencyReport(const EventLog& log) {
+  std::map<std::string, std::vector<double>> by_backend;
+  for (const JobRecord& job : log.jobs) {
+    const std::string backend = job.backend.empty() ? "?" : job.backend;
+    by_backend[backend].push_back((job.queue_seconds + job.wall_seconds) *
+                                  1e3);
+  }
+  std::string out = "latency (ms, admission to merge), per backend\n";
+  for (auto& [backend, samples] : by_backend) {
+    std::sort(samples.begin(), samples.end());
+    out += "  " + backend + ": n=" + std::to_string(samples.size()) +
+           " p50=" + FormatMs(PercentileOf(samples, 0.50)) +
+           " p90=" + FormatMs(PercentileOf(samples, 0.90)) +
+           " p99=" + FormatMs(PercentileOf(samples, 0.99)) +
+           " max=" + FormatMs(samples.back()) + "\n";
+  }
+  if (by_backend.empty()) {
+    out += "  (no completed jobs)\n";
+  }
+  return out;
+}
+
+std::string FormatSloReport(const EventLog& log, double slo_ms) {
+  std::string out =
+      "slo objective: " + FormatMs(slo_ms) + " ms per job\n";
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> by_backend;
+  std::int64_t total_ok = 0;
+  std::int64_t total = 0;
+  for (const JobRecord& job : log.jobs) {
+    const std::string backend = job.backend.empty() ? "?" : job.backend;
+    const double latency_ms = (job.queue_seconds + job.wall_seconds) * 1e3;
+    auto& [ok, breaches] = by_backend[backend];
+    ++total;
+    if (latency_ms <= slo_ms) {
+      ++ok;
+      ++total_ok;
+    } else {
+      ++breaches;
+    }
+  }
+  for (const auto& [backend, counts] : by_backend) {
+    const auto& [ok, breaches] = counts;
+    const double pct =
+        100.0 * static_cast<double>(ok) / static_cast<double>(ok + breaches);
+    out += "  " + backend + ": ok=" + std::to_string(ok) +
+           " breaches=" + std::to_string(breaches) +
+           " compliance=" + FormatMs(pct) + "%\n";
+  }
+  if (total == 0) {
+    out += "  (no completed jobs)\n";
+  } else {
+    const double pct =
+        100.0 * static_cast<double>(total_ok) / static_cast<double>(total);
+    out += "  overall: ok=" + std::to_string(total_ok) + "/" +
+           std::to_string(total) + " compliance=" + FormatMs(pct) + "%\n";
+  }
+  return out;
+}
+
+}  // namespace qplex::obs

@@ -1,0 +1,101 @@
+#ifndef QPLEX_OBS_ANALYSIS_H_
+#define QPLEX_OBS_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qplex::obs {
+
+/// One "span" event line from a --events JSONL stream (already merged per
+/// line by SpanCollector; LoadEventLog keeps them raw, BuildTraceForest
+/// re-merges lines that share a span id across attempts/flushes).
+struct SpanRecord {
+  std::string trace;   ///< 16-hex trace id
+  std::string span;    ///< 16-hex span id
+  std::string parent;  ///< 16-hex parent id; all zeros marks a root
+  std::string name;
+  std::string path;
+  std::int64_t count = 0;
+  double total_ms = 0;
+};
+
+/// One completed job (a job_end line).
+struct JobRecord {
+  std::int64_t job = 0;
+  std::string label;
+  std::string trace;
+  std::string backend;
+  std::string status;
+  std::string degraded_from;
+  double queue_seconds = 0;
+  double wall_seconds = 0;
+  std::int64_t attempts = 0;
+  std::int64_t size = 0;
+  bool cache_hit = false;
+};
+
+/// Everything the analyzer extracts from one events file.
+struct EventLog {
+  std::vector<SpanRecord> spans;
+  std::vector<JobRecord> jobs;
+  std::vector<std::string> replayed_labels;  ///< job_replayed (WAL replays)
+  std::int64_t retries = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t lines = 0;
+  std::int64_t malformed = 0;  ///< lines that failed to parse as JSON
+};
+
+/// Parses an --events JSONL file. IO failure is an error; individual
+/// malformed lines are counted, not fatal (a crashed run may truncate its
+/// last line and post-mortems must still work).
+Result<EventLog> LoadEventLog(const std::string& path);
+
+/// A span-id-merged node of a reconstructed trace tree.
+struct SpanTreeNode {
+  SpanRecord record;
+  std::vector<SpanTreeNode> children;  ///< sorted by path
+};
+
+/// One job's reconstructed trace.
+struct TraceSummary {
+  std::string trace;
+  std::string label;              ///< from the matching job_end, or "?"
+  std::int64_t job = -1;          ///< -1 when no job_end was seen
+  std::string backend;
+  std::string status;
+  std::vector<SpanTreeNode> roots;    ///< parent id all zeros
+  std::vector<SpanRecord> orphans;    ///< parent id unknown in this trace
+};
+
+/// Groups spans by trace id, merges records sharing a span id (counts and
+/// durations summed), and assembles parent/child trees. Ordered by
+/// (label, trace id) so output is stable across runs.
+std::vector<TraceSummary> BuildTraceForest(const EventLog& log);
+
+std::size_t CountOrphans(const std::vector<TraceSummary>& forest);
+
+/// Renders the forest as an indented text tree. Durations are deliberately
+/// excluded — the output is a pure function of trace structure, so two
+/// same-seed runs render byte-identically and CI can diff them.
+std::string FormatTraceForest(const std::vector<TraceSummary>& forest);
+
+/// Flamegraph-folded stacks ("job;racer@bs;attempt@1;solve 3"), one line per
+/// structural path, aggregated across every trace and sorted. The folded
+/// value is the span count (not milliseconds) for the same determinism
+/// reason as above.
+std::string FormatFoldedStacks(const std::vector<TraceSummary>& forest);
+
+/// Per-backend latency percentiles (exact order statistics over job_end
+/// queue+wall latencies, in ms). Values are whatever the run recorded;
+/// structure and ordering are deterministic.
+std::string FormatLatencyReport(const EventLog& log);
+
+/// SLO compliance per backend against `slo_ms` (admission-to-merge latency).
+std::string FormatSloReport(const EventLog& log, double slo_ms);
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_ANALYSIS_H_

@@ -56,12 +56,16 @@ Result<std::unique_ptr<EventSink>> EventSink::Open(const std::string& path,
 
 void EventSink::EmitLocked(
     EventLevel level, std::string_view solver, std::string_view event,
-    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields,
+    std::string_view trace) {
   JsonValue line = JsonValue::Object();
   line.Set("ts_ms", since_open_.ElapsedMillis());
   line.Set("level", std::string(EventLevelName(level)));
   line.Set("solver", std::string(solver));
   line.Set("event", std::string(event));
+  if (!trace.empty()) {
+    line.Set("trace", std::string(trace));
+  }
   for (const auto& [key, value] : fields) {
     line.Set(std::string(key), value);
   }
@@ -77,11 +81,25 @@ void EventSink::Emit(
   EmitLocked(level, solver, event, fields);
 }
 
-bool EventSink::ProgressDue(std::string_view solver,
-                            std::string_view event) const {
+namespace {
+
+std::string ProgressKey(std::string_view solver, std::string_view event,
+                        std::string_view scope) {
+  std::string key = std::string(solver) + "/" + std::string(event);
+  if (!scope.empty()) {
+    key.push_back('/');
+    key.append(scope);
+  }
+  return key;
+}
+
+}  // namespace
+
+bool EventSink::ProgressDue(std::string_view solver, std::string_view event,
+                            std::string_view scope) const {
   const double now_ms = since_open_.ElapsedMillis();
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::string key = std::string(solver) + "/" + std::string(event);
+  const std::string key = ProgressKey(solver, event, scope);
   const auto it = progress_last_ms_.find(key);
   return it == progress_last_ms_.end() ||
          now_ms - it->second >= progress_interval_ms_;
@@ -89,17 +107,18 @@ bool EventSink::ProgressDue(std::string_view solver,
 
 bool EventSink::EmitProgress(
     std::string_view solver, std::string_view event,
-    std::initializer_list<std::pair<std::string_view, JsonValue>> fields) {
+    std::initializer_list<std::pair<std::string_view, JsonValue>> fields,
+    std::string_view scope) {
   const double now_ms = since_open_.ElapsedMillis();
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string key = std::string(solver) + "/" + std::string(event);
+  std::string key = ProgressKey(solver, event, scope);
   const auto it = progress_last_ms_.find(key);
   if (it != progress_last_ms_.end() &&
       now_ms - it->second < progress_interval_ms_) {
     return false;
   }
   progress_last_ms_[std::move(key)] = now_ms;
-  EmitLocked(EventLevel::kInfo, solver, event, fields);
+  EmitLocked(EventLevel::kInfo, solver, event, fields, scope);
   return true;
 }
 

@@ -60,17 +60,22 @@ class EventSink {
             std::initializer_list<std::pair<std::string_view, JsonValue>>
                 fields);
 
-  /// True when a progress event keyed `solver/event` is currently due: the
-  /// key has never emitted, or at least progress_interval_ms elapsed since
-  /// it last did. Throttle state lives here (not in call sites) so many
-  /// short-lived solver objects under one run share one cadence.
-  bool ProgressDue(std::string_view solver, std::string_view event) const;
+  /// True when a progress event keyed `solver/event[/scope]` is currently
+  /// due: the key has never emitted, or at least progress_interval_ms elapsed
+  /// since it last did. Throttle state lives here (not in call sites) so many
+  /// short-lived solver objects under one run share one cadence. `scope`
+  /// separates concurrent requests (the portfolio racer passes the trace id)
+  /// so racing jobs never starve each other's heartbeats.
+  bool ProgressDue(std::string_view solver, std::string_view event,
+                   std::string_view scope = {}) const;
 
   /// Emits a progress line iff due, atomically updating the key's last-emit
-  /// time. Returns whether a line was written.
+  /// time. Returns whether a line was written. When `scope` is non-empty it
+  /// is also stamped on the line as the "trace" envelope field.
   bool EmitProgress(std::string_view solver, std::string_view event,
                     std::initializer_list<std::pair<std::string_view,
-                                                    JsonValue>> fields);
+                                                    JsonValue>> fields,
+                    std::string_view scope = {});
 
   int progress_interval_ms() const { return progress_interval_ms_; }
   std::int64_t lines_written() const {
@@ -90,7 +95,8 @@ class EventSink {
   void EmitLocked(EventLevel level, std::string_view solver,
                   std::string_view event,
                   std::initializer_list<std::pair<std::string_view,
-                                                  JsonValue>> fields);
+                                                  JsonValue>> fields,
+                  std::string_view trace = {});
 
   std::ostream* stream_;                   // where lines go (never null)
   std::unique_ptr<std::ostream> owned_;    // owns file streams; null for stdout
@@ -112,6 +118,12 @@ void EmitEvent(EventLevel level, std::string_view solver,
                std::initializer_list<std::pair<std::string_view, JsonValue>>
                    fields);
 
+/// The trace id (16 hex digits) of the request scope active on this thread,
+/// or empty outside any request. Defined in obs/reqtrace.cc; declared here so
+/// ProgressHeartbeat can key its throttle per request without events.h
+/// depending on the reqtrace header.
+std::string_view CurrentTraceToken();
+
 /// Rate-limited progress reporter for long-running loops. `Due()` is cheap
 /// enough to poll every loop iteration: an atomic load when no sink is
 /// installed, one mutex-protected map probe when one is (and polls happen at
@@ -119,6 +131,9 @@ void EmitEvent(EventLevel level, std::string_view solver,
 /// first heartbeat for a given solver/event key is always due, so even a run
 /// far shorter than the interval emits at least one progress line; after
 /// that the sink enforces the interval across every object sharing the key.
+/// Under the portfolio racer the throttle key also carries the active trace
+/// id, so two jobs racing through the same solver each keep their own
+/// heartbeat cadence instead of the first one silencing the rest.
 class ProgressHeartbeat {
  public:
   explicit ProgressHeartbeat(std::string_view solver,
@@ -129,7 +144,8 @@ class ProgressHeartbeat {
   /// only after a true return.
   bool Due() const {
     const EventSink* sink = EventSink::Global();
-    return sink != nullptr && sink->ProgressDue(solver_, event_);
+    return sink != nullptr &&
+           sink->ProgressDue(solver_, event_, CurrentTraceToken());
   }
 
   /// Emits a progress event (the sink re-checks dueness atomically, so a
@@ -138,7 +154,7 @@ class ProgressHeartbeat {
                 fields) {
     EventSink* sink = EventSink::Global();
     if (sink != nullptr) {
-      sink->EmitProgress(solver_, event_, fields);
+      sink->EmitProgress(solver_, event_, fields, CurrentTraceToken());
     }
   }
 

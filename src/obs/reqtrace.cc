@@ -1,0 +1,131 @@
+#include "obs/reqtrace.h"
+
+#include <vector>
+
+#include "obs/events.h"
+
+namespace qplex::obs {
+namespace {
+
+/// Per-thread scope stack plus the collector the innermost scopes record
+/// into. Worker threads in the scheduler each carry their own stack; solver
+/// internal threads start with an empty one, which is exactly what keeps
+/// them from attaching spans to a request they are not serving.
+thread_local std::vector<const SpanContext*> tls_scope_stack;
+thread_local SpanCollector* tls_collector = nullptr;
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string IdHex(std::uint64_t id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[id & 0xf];
+    id >>= 4;
+  }
+  return hex;
+}
+
+std::uint64_t DeriveTraceId(std::string_view label, std::int64_t job_id) {
+  std::string key = "qplex-trace:";
+  key.append(label);
+  key.push_back('#');
+  key.append(std::to_string(job_id));
+  return Fnv1a64(key);
+}
+
+SpanContext RootSpan(std::uint64_t trace_id, std::string_view name) {
+  SpanContext context;
+  context.trace_id = trace_id;
+  context.trace_hex = IdHex(trace_id);
+  context.parent_id = 0;
+  context.path = std::string(name);
+  context.name = std::string(name);
+  context.span_id = Fnv1a64(context.trace_hex + ":" + context.path);
+  return context;
+}
+
+SpanContext ChildSpan(const SpanContext& parent, std::string_view name,
+                      std::string_view qualifier) {
+  SpanContext context;
+  context.trace_id = parent.trace_id;
+  context.trace_hex = parent.trace_hex;
+  context.parent_id = parent.span_id;
+  context.name = std::string(name);
+  if (!qualifier.empty()) {
+    context.name.push_back('@');
+    context.name.append(qualifier);
+  }
+  context.path = parent.path + "/" + context.name;
+  context.span_id = Fnv1a64(context.trace_hex + ":" + context.path);
+  return context;
+}
+
+void EmitSpanEvent(const SpanContext& context, std::int64_t count,
+                   double total_ms) {
+  EmitEvent(EventLevel::kDebug, "trace", "span",
+            {{"trace", JsonValue(context.trace_hex)},
+             {"span", JsonValue(IdHex(context.span_id))},
+             {"parent", JsonValue(IdHex(context.parent_id))},
+             {"name", JsonValue(context.name)},
+             {"path", JsonValue(context.path)},
+             {"count", JsonValue(count)},
+             {"dur_ms", JsonValue(total_ms)}});
+}
+
+SpanCollector::~SpanCollector() { Flush(); }
+
+void SpanCollector::Record(const SpanContext& context, double elapsed_ms) {
+  Node& node = nodes_[context.path];
+  if (node.count == 0) {
+    node.context = context;
+  }
+  node.count += 1;
+  node.total_ms += elapsed_ms;
+}
+
+void SpanCollector::Flush() {
+  for (const auto& [path, node] : nodes_) {
+    EmitSpanEvent(node.context, node.count, node.total_ms);
+  }
+  nodes_.clear();
+}
+
+RequestScope::RequestScope(SpanContext context, SpanCollector* collector)
+    : context_(std::move(context)), saved_collector_(tls_collector) {
+  tls_scope_stack.push_back(&context_);
+  if (collector != nullptr) {
+    tls_collector = collector;
+  }
+}
+
+RequestScope::~RequestScope() {
+  if (SpanCollector* collector = tls_collector; collector != nullptr) {
+    collector->Record(context_, watch_.ElapsedMillis());
+  }
+  tls_scope_stack.pop_back();
+  tls_collector = saved_collector_;
+}
+
+const SpanContext* RequestScope::Current() {
+  return tls_scope_stack.empty() ? nullptr : tls_scope_stack.back();
+}
+
+SpanCollector* RequestScope::CurrentCollector() { return tls_collector; }
+
+std::string_view CurrentTraceToken() {
+  const SpanContext* current = RequestScope::Current();
+  return current == nullptr ? std::string_view{}
+                            : std::string_view(current->trace_hex);
+}
+
+}  // namespace qplex::obs

@@ -1,0 +1,110 @@
+#ifndef QPLEX_OBS_REQTRACE_H_
+#define QPLEX_OBS_REQTRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/stopwatch.h"
+
+namespace qplex::obs {
+
+/// FNV-1a 64-bit hash: the id-derivation primitive for trace and span ids.
+std::uint64_t Fnv1a64(std::string_view text);
+
+/// 16-hex-digit lowercase rendering of an id (the wire form in span events).
+std::string IdHex(std::uint64_t id);
+
+/// One node of a request-scoped trace. Ids are *structural*: pure functions
+/// of (trace id, path), so a retry attempt, a fallback hop, or a bridged
+/// solver span recomputes the same span id on any worker thread without
+/// shared counters — and two same-seed runs emit byte-identical id sets,
+/// which is what lets CI diff reconstructed trace trees.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span of the trace
+  std::string trace_hex;        ///< cached IdHex(trace_id)
+  std::string path;             ///< e.g. "job/racer@bs/attempt@1/solve"
+  std::string name;             ///< last path element ("attempt@1", "solve")
+};
+
+/// Trace id of one scheduler job: a hash of the caller's label and the job
+/// id, so it is recomputable anywhere the job is visible.
+std::uint64_t DeriveTraceId(std::string_view label, std::int64_t job_id);
+
+/// The root span of a trace (parent id 0, path = name).
+SpanContext RootSpan(std::uint64_t trace_id, std::string_view name);
+
+/// A child span. The path element is `name` or "name@qualifier"; the span id
+/// is the hash of "<trace hex>:<path>".
+SpanContext ChildSpan(const SpanContext& parent, std::string_view name,
+                      std::string_view qualifier = {});
+
+/// Emits one "span" event line (trace/span/parent/name/path/count/dur_ms)
+/// into the global event sink; no-op when none is installed.
+void EmitSpanEvent(const SpanContext& context, std::int64_t count,
+                   double total_ms);
+
+/// Aggregates closed spans per structural path (count + wall-time total) so
+/// one event line per distinct path is emitted instead of one per close — a
+/// solver evaluating its oracle 10^4 times inside an attempt still costs one
+/// "span" line. Not thread-safe by design: the scheduler owns one collector
+/// per backend execution on the worker thread that runs it.
+class SpanCollector {
+ public:
+  SpanCollector() = default;
+  ~SpanCollector();  // flushes anything still buffered
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  void Record(const SpanContext& context, double elapsed_ms);
+
+  /// Emits one "span" event per aggregated path (path-sorted, so flush order
+  /// is deterministic) and clears the collector.
+  void Flush();
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    SpanContext context;
+    std::int64_t count = 0;
+    double total_ms = 0;
+  };
+  std::map<std::string, Node> nodes_;
+};
+
+/// RAII request scope: pushes `context` onto this thread's scope stack so
+/// nested instrumentation can attach to the request — TraceSpan bridges
+/// solver spans under Current(), ProgressHeartbeat keys its rate limiter by
+/// CurrentTraceToken() — and records the scope's wall duration into the
+/// active collector on destruction. Passing `collector` additionally makes
+/// it the thread's active collector for the scope's lifetime.
+class RequestScope {
+ public:
+  explicit RequestScope(SpanContext context,
+                        SpanCollector* collector = nullptr);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  const SpanContext& context() const { return context_; }
+
+  /// The innermost scope on this thread, or nullptr outside any request.
+  static const SpanContext* Current();
+  /// The collector scopes on this thread record into, or nullptr.
+  static SpanCollector* CurrentCollector();
+
+ private:
+  SpanContext context_;
+  SpanCollector* saved_collector_;  // restored when this scope closes
+  Stopwatch watch_;
+};
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_REQTRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/events.h"
+#include "obs/reqtrace.h"
+
 namespace qplex::obs {
 
 namespace internal {
@@ -111,7 +114,13 @@ Tracer& Tracer::Global() {
 }
 
 TraceSpan::TraceSpan(std::string_view name, Tracer& tracer)
-    : tracer_(tracer), node_(tracer.OpenSpan(name)) {}
+    : tracer_(tracer), node_(tracer.OpenSpan(name)) {
+  if (EventsEnabled()) {
+    if (const SpanContext* request = RequestScope::Current()) {
+      bridge_ = std::make_unique<RequestScope>(ChildSpan(*request, name));
+    }
+  }
+}
 
 TraceSpan::~TraceSpan() { tracer_.CloseSpan(node_, watch_.ElapsedNanos()); }
 

@@ -31,6 +31,8 @@ namespace internal {
 struct TraceNode;
 }  // namespace internal
 
+class RequestScope;  // obs/reqtrace.h
+
 /// Owns a trace tree built from nested TraceSpan scopes. Open/close take a
 /// mutex, which is fine at span granularity (solver call, probe, sweep
 /// batch — never per inner-loop step). Each thread tracks its own span stack;
@@ -63,6 +65,13 @@ class Tracer {
 /// RAII scoped timer: opens a named span in the global tracer on
 /// construction, records its duration on destruction. Nested spans form the
 /// trace tree (solver -> probe -> oracle eval, etc.).
+///
+/// When an event stream is active and the constructing thread is inside a
+/// RequestScope, the span additionally bridges into the request trace: a
+/// structural child scope is opened under the innermost request span, so
+/// solver-internal timing shows up in the same connected per-job trace tree
+/// that the scheduler builds. Threads outside any request (solver internal
+/// pools) skip the bridge entirely, which keeps the span tree orphan-free.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name)
@@ -76,6 +85,7 @@ class TraceSpan {
  private:
   Tracer& tracer_;
   internal::TraceNode* node_;
+  std::unique_ptr<RequestScope> bridge_;  // null when not bridging
   Stopwatch watch_;
 };
 

@@ -60,9 +60,12 @@
 #include "grover/qmkp.h"
 #include "grover/qtkp.h"
 #include "milp/milp_solver.h"
+#include "obs/analysis.h"
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/reqtrace.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "milp/qubo_linearization.h"

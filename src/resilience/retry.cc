@@ -46,4 +46,13 @@ void Backoff::Reset() {
   attempts_ = 0;
 }
 
+double Backoff::DelayAtAttempt(const BackoffOptions& options, int attempt) {
+  Backoff backoff(options);
+  double delay = 0;
+  for (int i = 0; i < attempt; ++i) {
+    delay = backoff.NextDelayMs();
+  }
+  return delay;
+}
+
 }  // namespace qplex::resilience

@@ -46,6 +46,13 @@ class Backoff {
   /// Delays handed out since construction/Reset.
   int attempts() const { return attempts_; }
 
+  /// The delay a fresh Backoff(options) would hand out on its `attempt`-th
+  /// NextDelayMs() call (attempt >= 1). A pure function of (options, attempt)
+  /// — the scheduler uses it to recompute a task's backoff schedule without
+  /// carrying Backoff state across re-enqueues, and the telemetry layer uses
+  /// it to stamp the exact same number into phase histograms and span events.
+  static double DelayAtAttempt(const BackoffOptions& options, int attempt);
+
  private:
   BackoffOptions options_;
   Rng rng_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "resilience/fault_injection.h"
 
@@ -11,15 +12,20 @@ InstanceCache::InstanceCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::optional<SolveResponse> InstanceCache::Lookup(const std::string& key) {
+  Stopwatch watch;
   std::lock_guard<std::mutex> lock(mutex_);
   auto& registry = obs::MetricsRegistry::Global();
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     registry.GetCounter("svc.cache.misses").Increment();
+    registry.GetHistogram("svc.phase.cache_lookup_wall_ms")
+        .Record(watch.ElapsedMillis());
     return std::nullopt;
   }
   recency_.splice(recency_.begin(), recency_, it->second.recency);
   registry.GetCounter("svc.cache.hits").Increment();
+  registry.GetHistogram("svc.phase.cache_lookup_wall_ms")
+      .Record(watch.ElapsedMillis());
   return it->second.response;
 }
 

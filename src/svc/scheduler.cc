@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -11,6 +12,7 @@
 
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "resilience/fault_injection.h"
 #include "svc/graph_hash.h"
@@ -212,6 +214,7 @@ void JobScheduler::WorkerLoop(int worker) {
 void JobScheduler::Execute(const SubTask& task, int worker) {
   Job& job = *task.job;
   const std::string& backend = job.backends[task.slot];
+  auto& registry = obs::MetricsRegistry::Global();
 
   bool emit_start = false;
   {
@@ -221,26 +224,57 @@ void JobScheduler::Execute(const SubTask& task, int worker) {
       emit_start = true;
     }
   }
+  // One trace per job, derived (not allocated) so every racer/attempt/worker
+  // recomputes the same id without shared state.
+  const std::uint64_t trace_id = obs::DeriveTraceId(job.request.label, job.id);
   if (emit_start && obs::EventsEnabled()) {
+    registry.GetCounter("svc.events.payloads_built").Increment();
     obs::EmitEvent(obs::EventLevel::kInfo, "svc", "job_start",
-                   {{"job", static_cast<std::int64_t>(job.id)},
+                   {{"trace", obs::IdHex(trace_id)},
+                    {"job", static_cast<std::int64_t>(job.id)},
                     {"label", job.request.label},
                     {"backends", JoinBackends(job.backends)},
                     {"k", job.request.k},
                     {"num_vertices", job.request.graph.num_vertices()}});
   }
 
-  SolveResponse response = RunBackend(job, backend, task.attempt);
-  response.attempts = task.attempt;
+  SolveResponse response;
+  {
+    // Request scope for this racer execution. The collector is declared
+    // first so the racer scope records itself into it before it flushes;
+    // with no sink installed neither is constructed and the whole block
+    // costs two null checks.
+    std::optional<obs::SpanCollector> collector;
+    std::optional<obs::RequestScope> racer_scope;
+    if (obs::EventsEnabled()) {
+      collector.emplace();
+      racer_scope.emplace(
+          obs::ChildSpan(obs::RootSpan(trace_id, "job"), "racer", backend),
+          &*collector);
+    }
+    {
+      std::optional<obs::RequestScope> attempt_scope;
+      if (racer_scope.has_value()) {
+        attempt_scope.emplace(obs::ChildSpan(
+            racer_scope->context(), "attempt", std::to_string(task.attempt)));
+      }
+      Stopwatch attempt_watch;
+      response = RunBackend(job, backend, task.attempt);
+      registry.GetHistogram("svc.phase.attempt_wall_ms")
+          .Record(attempt_watch.ElapsedMillis());
+    }
+    response.attempts = task.attempt;
 
-  if (resilience::ClassifyFailure(response.status.code()) ==
-          resilience::FailureClass::kTransient &&
-      ConsumeRetryBudget(response.status, job)) {
-    ScheduleRetry(task, worker, response.status);
-    return;  // the slot completes on a later attempt
+    if (resilience::ClassifyFailure(response.status.code()) ==
+            resilience::FailureClass::kTransient &&
+        ConsumeRetryBudget(response.status, job)) {
+      ScheduleRetry(task, worker, response.status);
+      return;  // the slot completes on a later attempt
+    }
   }
 
   bool last = false;
+  const bool events = obs::EventsEnabled();
   SolveResponse merged_copy;
   {
     std::lock_guard<std::mutex> lock(job.mutex);
@@ -254,7 +288,12 @@ void JobScheduler::Execute(const SubTask& task, int worker) {
     if (last) {
       MergeResponses(&job);
       job.done = true;
-      merged_copy = job.merged;
+      if (events) {
+        // The copy feeds only the job_end payload; with no sink installed it
+        // would be a full SolveResponse (member list included) built for
+        // nothing.
+        merged_copy = job.merged;
+      }
     }
   }
   if (!last) {
@@ -263,11 +302,22 @@ void JobScheduler::Execute(const SubTask& task, int worker) {
   // Account and emit BEFORE waking waiters: a waiter may capture the metrics
   // registry (or emit batch_end) the moment Wait() returns, and the final
   // job's counter tick and job_end event must already be visible then.
-  obs::MetricsRegistry::Global().GetCounter("svc.jobs.completed").Increment();
-  if (obs::EventsEnabled()) {
+  registry.GetCounter("svc.jobs.completed").Increment();
+  const double latency_ms = job.submitted.ElapsedMillis();
+  registry.GetHistogram("svc.job_latency_wall_ms").Record(latency_ms);
+  if (options_.slo_latency_ms > 0) {
+    registry.GetGauge("svc.slo.objective_ms").Set(options_.slo_latency_ms);
+    registry
+        .GetCounter(latency_ms <= options_.slo_latency_ms ? "svc.slo.ok"
+                                                          : "svc.slo.breaches")
+        .Increment();
+  }
+  if (events) {
+    registry.GetCounter("svc.events.payloads_built").Increment();
     obs::EmitEvent(
         obs::EventLevel::kInfo, "svc", "job_end",
-        {{"job", static_cast<std::int64_t>(job.id)},
+        {{"trace", obs::IdHex(trace_id)},
+         {"job", static_cast<std::int64_t>(job.id)},
          {"label", job.request.label},
          {"backend", merged_copy.backend},
          {"status", std::string(StatusCodeName(merged_copy.status.code()))},
@@ -280,6 +330,9 @@ void JobScheduler::Execute(const SubTask& task, int worker) {
          {"degradation_reason", merged_copy.degradation_reason},
          {"queue_seconds", merged_copy.metrics.queue_seconds},
          {"wall_seconds", merged_copy.metrics.wall_seconds}});
+    // The root span closes the trace: emitted once, by whichever racer
+    // finished last.
+    obs::EmitSpanEvent(obs::RootSpan(trace_id, "job"), 1, latency_ms);
   }
   job.done_cv.notify_all();
 }
@@ -289,6 +342,12 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
   auto& registry = obs::MetricsRegistry::Global();
   obs::TraceSpan span("svc.job");
 
+  // Non-null exactly when Execute opened the attempt scope (events on); the
+  // phase spans below hang off it so the whole attempt reconstructs as one
+  // subtree. Note Current() is now the span the TraceSpan above bridged in.
+  const obs::SpanContext* attempt_span = obs::RequestScope::Current();
+  obs::SpanCollector* collector = obs::RequestScope::CurrentCollector();
+
   SolveResponse response;
   response.backend = backend;
   response.metrics.queue_seconds = job.submitted.ElapsedSeconds();
@@ -297,14 +356,28 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
     // of the same admission, not new jobs.
     registry.GetHistogram("svc.queue_wait_seconds")
         .Record(response.metrics.queue_seconds);
+    registry.GetHistogram("svc.phase.queue_wait_wall_ms")
+        .Record(response.metrics.queue_seconds * 1e3);
     registry.GetCounter("svc.backend." + backend + ".jobs").Increment();
+    if (collector != nullptr && attempt_span != nullptr) {
+      // The wait already happened (between Enqueue and now), so the span is
+      // recorded directly instead of scoped.
+      collector->Record(obs::ChildSpan(*attempt_span, "queue"),
+                        response.metrics.queue_seconds * 1e3);
+    }
   }
 
   std::string key;
   if (cache_ != nullptr) {
     key = CacheKey(job.request, backend);
     if (attempt == 1) {
-      if (std::optional<SolveResponse> cached = cache_->Lookup(key)) {
+      Stopwatch lookup_watch;
+      std::optional<SolveResponse> cached = cache_->Lookup(key);
+      if (collector != nullptr && attempt_span != nullptr) {
+        collector->Record(obs::ChildSpan(*attempt_span, "cache"),
+                          lookup_watch.ElapsedMillis());
+      }
+      if (cached.has_value()) {
         const double queue_seconds = response.metrics.queue_seconds;
         response = *std::move(cached);
         response.metrics.queue_seconds = queue_seconds;
@@ -323,7 +396,14 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
   }
 
   Stopwatch watch;
-  Result<SolveOutcome> outcome = GuardedSolve(job, backend);
+  Result<SolveOutcome> outcome = Status::Internal("unreached");
+  {
+    std::optional<obs::RequestScope> solve_scope;
+    if (attempt_span != nullptr) {
+      solve_scope.emplace(obs::ChildSpan(*attempt_span, "solve"));
+    }
+    outcome = GuardedSolve(job, backend);
+  }
   response.metrics.wall_seconds = watch.ElapsedSeconds();
   registry.GetHistogram("svc.job_wall_seconds")
       .Record(response.metrics.wall_seconds);
@@ -386,6 +466,9 @@ SolveResponse JobScheduler::RunFallbackChain(Job& job,
                                              SolveResponse response,
                                              Status original) {
   auto& registry = obs::MetricsRegistry::Global();
+  // The chain hangs off whatever span is innermost at entry (the attempt
+  // subtree), so degraded executions stay inside the job's trace.
+  const obs::SpanContext* parent_span = obs::RequestScope::Current();
   const std::string reason = original.ToString();
   std::vector<std::string> visited{backend};
   std::string current = backend;
@@ -400,8 +483,11 @@ SolveResponse JobScheduler::RunFallbackChain(Job& job,
     visited.push_back(current);
     registry.GetCounter("svc.fallbacks.taken").Increment();
     if (obs::EventsEnabled()) {
+      registry.GetCounter("svc.events.payloads_built").Increment();
       obs::EmitEvent(obs::EventLevel::kWarn, "svc", "job_fallback",
-                     {{"job", static_cast<std::int64_t>(job.id)},
+                     {{"trace", obs::IdHex(obs::DeriveTraceId(
+                                    job.request.label, job.id))},
+                      {"job", static_cast<std::int64_t>(job.id)},
                       {"from", backend},
                       {"to", current},
                       {"reason", reason}});
@@ -413,8 +499,19 @@ SolveResponse JobScheduler::RunFallbackChain(Job& job,
       break;
     }
     Stopwatch watch;
-    Result<SolveOutcome> outcome = GuardedSolve(job, current);
+    Result<SolveOutcome> outcome = Status::Internal("unreached");
+    {
+      std::optional<obs::RequestScope> hop_scope;
+      std::optional<obs::RequestScope> solve_scope;
+      if (parent_span != nullptr) {
+        hop_scope.emplace(obs::ChildSpan(*parent_span, "fallback", current));
+        solve_scope.emplace(obs::ChildSpan(hop_scope->context(), "solve"));
+      }
+      outcome = GuardedSolve(job, current);
+    }
     response.metrics.wall_seconds += watch.ElapsedSeconds();
+    registry.GetHistogram("svc.phase.fallback_wall_ms")
+        .Record(watch.ElapsedMillis());
     if (!outcome.ok()) {
       last = outcome.status();
       registry.GetCounter("svc.backend." + current + ".failures").Increment();
@@ -477,18 +574,29 @@ void JobScheduler::ScheduleRetry(const SubTask& task, int worker,
                          (static_cast<std::uint64_t>(job.id) *
                           0x9e3779b97f4a7c15ULL) ^
                          static_cast<std::uint64_t>(task.slot);
-  resilience::Backoff backoff(backoff_options);
-  double delay_ms = 0;
-  for (int i = 0; i < task.attempt; ++i) {
-    delay_ms = backoff.NextDelayMs();
-  }
+  const double delay_ms =
+      resilience::Backoff::DelayAtAttempt(backoff_options, task.attempt);
 
   registry.GetCounter("svc.retries.scheduled").Increment();
   registry.GetCounter("svc.backend." + backend + ".retries").Increment();
   registry.GetHistogram("svc.retries.backoff_ms").Record(delay_ms);
+  registry.GetHistogram("svc.phase.backoff_ms").Record(delay_ms);
+  if (obs::SpanCollector* collector = obs::RequestScope::CurrentCollector()) {
+    // Current() is the racer scope here (the attempt scope closed before the
+    // retry decision), so backoffs sit between attempt subtrees. The span's
+    // duration is the computed delay, matching the histograms.
+    if (const obs::SpanContext* racer = obs::RequestScope::Current()) {
+      collector->Record(
+          obs::ChildSpan(*racer, "backoff", std::to_string(task.attempt)),
+          delay_ms);
+    }
+  }
   if (obs::EventsEnabled()) {
+    registry.GetCounter("svc.events.payloads_built").Increment();
     obs::EmitEvent(obs::EventLevel::kWarn, "svc", "job_retry",
-                   {{"job", static_cast<std::int64_t>(job.id)},
+                   {{"trace", obs::IdHex(obs::DeriveTraceId(job.request.label,
+                                                            job.id))},
+                    {"job", static_cast<std::int64_t>(job.id)},
                     {"backend", backend},
                     {"attempt", task.attempt},
                     {"backoff_ms", delay_ms},

@@ -55,6 +55,11 @@ struct JobSchedulerOptions {
   bool enable_cache = true;
   std::size_t cache_capacity = 256;
   RetryOptions retry;
+  /// Latency objective per job in milliseconds; 0 disables SLO accounting.
+  /// When set, every completed job ticks svc.slo.ok or svc.slo.breaches
+  /// (admission-to-merge latency vs the objective) and the objective itself
+  /// is published as the svc.slo.objective_ms gauge.
+  double slo_latency_ms = 0;
 };
 
 using JobId = std::int64_t;

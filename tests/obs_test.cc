@@ -14,9 +14,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/analysis.h"
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/reqtrace.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -565,6 +568,409 @@ TEST(RunReportTest, JsonRoundTripCarriesMetricsAndTrace) {
   ASSERT_NE(trace, nullptr);
   ASSERT_EQ(trace->Find("children")->size(), 1u);
   EXPECT_EQ(trace->Find("children")->at(0).Find("name")->AsString(), "solve");
+}
+
+// --- Request-scoped tracing --------------------------------------------------
+
+TEST(ReqTraceTest, IdsAreStructuralAndDeterministic) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_EQ(IdHex(0), "0000000000000000");
+  EXPECT_EQ(IdHex(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(IdHex(Fnv1a64("x")).size(), 16u);
+
+  // Same (label, job) always derives the same trace id; either part matters.
+  EXPECT_EQ(DeriveTraceId("g18", 7), DeriveTraceId("g18", 7));
+  EXPECT_NE(DeriveTraceId("g18", 7), DeriveTraceId("g18", 8));
+  EXPECT_NE(DeriveTraceId("g18", 7), DeriveTraceId("g19", 7));
+}
+
+TEST(ReqTraceTest, ChildSpansChainPathsAndParents) {
+  const std::uint64_t trace = DeriveTraceId("job-a", 1);
+  const SpanContext root = RootSpan(trace, "job");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(root.path, "job");
+  EXPECT_EQ(root.trace_hex, IdHex(trace));
+
+  const SpanContext racer = ChildSpan(root, "racer", "bs");
+  EXPECT_EQ(racer.name, "racer@bs");
+  EXPECT_EQ(racer.path, "job/racer@bs");
+  EXPECT_EQ(racer.parent_id, root.span_id);
+  EXPECT_EQ(racer.trace_id, trace);
+
+  const SpanContext attempt = ChildSpan(racer, "attempt", "1");
+  EXPECT_EQ(attempt.path, "job/racer@bs/attempt@1");
+  EXPECT_EQ(attempt.parent_id, racer.span_id);
+
+  // Structural: an independent recomputation of the same path yields the
+  // same span id (this is what merges retry attempts across worker threads).
+  const SpanContext again = ChildSpan(ChildSpan(root, "racer", "bs"),
+                                      "attempt", "1");
+  EXPECT_EQ(again.span_id, attempt.span_id);
+
+  // Different traces never share span ids for the same path.
+  const SpanContext other_root = RootSpan(DeriveTraceId("job-b", 2), "job");
+  EXPECT_NE(ChildSpan(other_root, "racer", "bs").span_id, racer.span_id);
+}
+
+TEST(ReqTraceTest, RequestScopeStacksPerThread) {
+  EXPECT_EQ(RequestScope::Current(), nullptr);
+  EXPECT_EQ(RequestScope::CurrentCollector(), nullptr);
+  EXPECT_TRUE(CurrentTraceToken().empty());
+
+  const SpanContext root = RootSpan(DeriveTraceId("scoped", 3), "job");
+  SpanCollector collector;
+  {
+    RequestScope outer(root, &collector);
+    ASSERT_NE(RequestScope::Current(), nullptr);
+    EXPECT_EQ(RequestScope::Current()->span_id, root.span_id);
+    EXPECT_EQ(RequestScope::CurrentCollector(), &collector);
+    EXPECT_EQ(CurrentTraceToken(), root.trace_hex);
+    {
+      RequestScope inner(ChildSpan(root, "solve"));
+      EXPECT_EQ(RequestScope::Current()->path, "job/solve");
+      // The inner scope inherits the outer scope's collector.
+      EXPECT_EQ(RequestScope::CurrentCollector(), &collector);
+    }
+    EXPECT_EQ(RequestScope::Current()->span_id, root.span_id);
+
+    // Another thread sees an empty stack: scopes are thread-local, which is
+    // why solver-internal worker threads never attach orphan spans.
+    std::thread([] {
+      EXPECT_EQ(RequestScope::Current(), nullptr);
+      EXPECT_TRUE(CurrentTraceToken().empty());
+    }).join();
+  }
+  EXPECT_EQ(RequestScope::Current(), nullptr);
+  EXPECT_EQ(RequestScope::CurrentCollector(), nullptr);
+  // Both closed scopes were recorded into the collector.
+  EXPECT_EQ(collector.size(), 2u);
+}
+
+TEST(ReqTraceTest, SpanCollectorAggregatesAndFlushesSortedSpanEvents) {
+  const std::filesystem::path path = EventsTempPath("spans.jsonl");
+  Result<std::unique_ptr<EventSink>> sink = EventSink::Open(path.string());
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  EventSink::InstallGlobal(sink.value().get());
+
+  const SpanContext root = RootSpan(DeriveTraceId("flush", 9), "job");
+  const SpanContext solve = ChildSpan(root, "solve");
+  {
+    SpanCollector collector;
+    collector.Record(solve, 1.5);
+    collector.Record(solve, 2.5);  // merged: one line, count 2, 4.0 ms
+    collector.Record(root, 10.0);
+    EXPECT_EQ(collector.size(), 2u);
+    EXPECT_EQ(sink.value()->lines_written(), 0);  // nothing until flush
+  }  // dtor flushes
+  EventSink::InstallGlobal(nullptr);
+
+  const std::vector<JsonValue> lines = ReadJsonlFile(path);
+  ASSERT_EQ(lines.size(), 2u);
+  // Path-sorted: "job" before "job/solve".
+  EXPECT_EQ(lines[0].Find("event")->AsString(), "span");
+  EXPECT_EQ(lines[0].Find("solver")->AsString(), "trace");
+  EXPECT_EQ(lines[0].Find("path")->AsString(), "job");
+  EXPECT_EQ(lines[0].Find("parent")->AsString(), "0000000000000000");
+  EXPECT_EQ(lines[0].Find("count")->AsInt(), 1);
+  EXPECT_EQ(lines[1].Find("path")->AsString(), "job/solve");
+  EXPECT_EQ(lines[1].Find("trace")->AsString(), root.trace_hex);
+  EXPECT_EQ(lines[1].Find("span")->AsString(), IdHex(solve.span_id));
+  EXPECT_EQ(lines[1].Find("parent")->AsString(), IdHex(root.span_id));
+  EXPECT_EQ(lines[1].Find("count")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(lines[1].Find("dur_ms")->AsDouble(), 4.0);
+}
+
+TEST(ReqTraceTest, TraceSpanBridgesIntoActiveRequestScope) {
+  const std::filesystem::path path = EventsTempPath("bridge.jsonl");
+  Result<std::unique_ptr<EventSink>> sink = EventSink::Open(path.string());
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  EventSink::InstallGlobal(sink.value().get());
+
+  Tracer::Global().Reset();
+  const SpanContext root = RootSpan(DeriveTraceId("bridged", 4), "job");
+  {
+    SpanCollector collector;
+    {
+      RequestScope scope(root, &collector);
+      TraceSpan solver_span("solver.work");  // bridges under the scope
+    }
+  }
+  EventSink::InstallGlobal(nullptr);
+  Tracer::Global().Reset();
+
+  const std::vector<JsonValue> lines = ReadJsonlFile(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].Find("path")->AsString(), "job");
+  EXPECT_EQ(lines[1].Find("path")->AsString(), "job/solver.work");
+  EXPECT_EQ(lines[1].Find("parent")->AsString(), IdHex(root.span_id));
+}
+
+TEST(EventSinkTest, ProgressScopeSeparatesConcurrentRequests) {
+  const std::filesystem::path path = EventsTempPath("scoped_progress.jsonl");
+  // Hour-long interval: within one key only the first heartbeat lands.
+  Result<std::unique_ptr<EventSink>> sink =
+      EventSink::Open(path.string(), 3'600'000);
+  ASSERT_TRUE(sink.ok()) << sink.status();
+
+  // Two jobs racing through the same solver: distinct scopes, so the second
+  // job's first heartbeat is NOT silenced by the first job's.
+  EXPECT_TRUE(sink.value()->EmitProgress("bs", "progress", {{"nodes", 1}},
+                                         "aaaaaaaaaaaaaaaa"));
+  EXPECT_FALSE(sink.value()->ProgressDue("bs", "progress",
+                                         "aaaaaaaaaaaaaaaa"));
+  EXPECT_TRUE(sink.value()->ProgressDue("bs", "progress",
+                                        "bbbbbbbbbbbbbbbb"));
+  EXPECT_TRUE(sink.value()->EmitProgress("bs", "progress", {{"nodes", 2}},
+                                         "bbbbbbbbbbbbbbbb"));
+  EXPECT_FALSE(sink.value()->EmitProgress("bs", "progress", {{"nodes", 3}},
+                                          "bbbbbbbbbbbbbbbb"));
+  sink.value().reset();
+
+  // The scope rides each line as the "trace" envelope field.
+  const std::vector<JsonValue> lines = ReadJsonlFile(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].Find("trace")->AsString(), "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(lines[0].Find("nodes")->AsInt(), 1);
+  EXPECT_EQ(lines[1].Find("trace")->AsString(), "bbbbbbbbbbbbbbbb");
+  EXPECT_EQ(lines[1].Find("nodes")->AsInt(), 2);
+}
+
+TEST(EventSinkTest, HeartbeatPicksUpActiveRequestScope) {
+  const std::filesystem::path path = EventsTempPath("scoped_heartbeat.jsonl");
+  Result<std::unique_ptr<EventSink>> sink =
+      EventSink::Open(path.string(), 3'600'000);
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  EventSink::InstallGlobal(sink.value().get());
+
+  ProgressHeartbeat heartbeat("bs");
+  const SpanContext job_a = RootSpan(DeriveTraceId("job-a", 1), "job");
+  const SpanContext job_b = RootSpan(DeriveTraceId("job-b", 2), "job");
+  {
+    RequestScope scope(job_a);
+    EXPECT_TRUE(heartbeat.Due());
+    heartbeat.Emit({{"nodes", 10}});
+    EXPECT_FALSE(heartbeat.Due());
+  }
+  {
+    // A different request: its first heartbeat through the same solver site
+    // is due despite job A having just emitted (the regression this guards:
+    // un-scoped keys let one racing job starve the other's heartbeats).
+    RequestScope scope(job_b);
+    EXPECT_TRUE(heartbeat.Due());
+    heartbeat.Emit({{"nodes", 20}});
+  }
+  EventSink::InstallGlobal(nullptr);
+
+  const std::vector<JsonValue> lines = ReadJsonlFile(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].Find("trace")->AsString(), job_a.trace_hex);
+  EXPECT_EQ(lines[1].Find("trace")->AsString(), job_b.trace_hex);
+}
+
+// --- OpenMetrics -------------------------------------------------------------
+
+TEST(OpenMetricsTest, NameSanitisation) {
+  EXPECT_EQ(OpenMetricsName("svc.jobs.completed"), "qplex_svc_jobs_completed");
+  EXPECT_EQ(OpenMetricsName("a-b c"), "qplex_a_b_c");
+  EXPECT_EQ(OpenMetricsName("ok_name:x9"), "qplex_ok_name:x9");
+}
+
+TEST(OpenMetricsTest, RenderParsesBackAndRoundTripsEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc.jobs.completed").Add(42);
+  registry.GetGauge("svc.slo.objective_ms").Set(250.5);
+  Histogram& histogram = registry.GetHistogram("svc.job_latency_wall_ms");
+  histogram.Record(0.5);
+  histogram.Record(3.0);
+  histogram.Record(3.5);
+  registry.GetSeries("anneal.energy").Append(1.0);
+  registry.GetSeries("anneal.energy").Append(2.0);
+
+  const std::string text = RenderOpenMetrics(registry.Snapshot());
+  const Result<OpenMetricsDoc> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const OpenMetricsDoc& doc = parsed.value();
+
+  // Counter: TYPE declared, _total sample carries the exact value.
+  EXPECT_EQ(doc.types.at("qplex_svc_jobs_completed"), "counter");
+  const OpenMetricsSample* counter =
+      doc.FindSample("qplex_svc_jobs_completed_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 42.0);
+
+  // Gauge: %.17g keeps the double exact through the round trip.
+  const OpenMetricsSample* gauge =
+      doc.FindSample("qplex_svc_slo_objective_ms");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 250.5);
+
+  // Histogram: _count and _sum round-trip; +Inf bucket equals the count.
+  const OpenMetricsSample* count =
+      doc.FindSample("qplex_svc_job_latency_wall_ms_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 3.0);
+  const OpenMetricsSample* sum =
+      doc.FindSample("qplex_svc_job_latency_wall_ms_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 7.0);
+  double inf_bucket = -1;
+  for (const OpenMetricsSample& sample : doc.samples) {
+    if (sample.name == "qplex_svc_job_latency_wall_ms_bucket") {
+      const std::string* le = sample.FindLabel("le");
+      ASSERT_NE(le, nullptr);
+      if (*le == "+Inf") {
+        inf_bucket = sample.value;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(inf_bucket, 3.0);
+
+  // Series: exposed as a labeled point-count gauge.
+  bool series_seen = false;
+  for (const OpenMetricsSample& sample : doc.samples) {
+    if (sample.name == "qplex_series_points" &&
+        sample.FindLabel("series") != nullptr &&
+        *sample.FindLabel("series") == "anneal.energy") {
+      series_seen = true;
+      EXPECT_DOUBLE_EQ(sample.value, 2.0);
+    }
+  }
+  EXPECT_TRUE(series_seen);
+
+  // And the whole exposition passes the CI checker.
+  EXPECT_TRUE(CheckOpenMetrics(text).ok()) << CheckOpenMetrics(text);
+}
+
+TEST(OpenMetricsTest, CheckerRejectsStructuralViolations) {
+  // Valid baseline the mutations below are diffs of.
+  const std::string valid =
+      "# TYPE qplex_jobs counter\n"
+      "qplex_jobs_total 3\n"
+      "# EOF\n";
+  EXPECT_TRUE(CheckOpenMetrics(valid).ok());
+
+  // Missing the EOF terminator.
+  EXPECT_FALSE(CheckOpenMetrics("# TYPE qplex_jobs counter\n"
+                                "qplex_jobs_total 3\n")
+                   .ok());
+  // Content after EOF.
+  EXPECT_FALSE(CheckOpenMetrics(valid + "qplex_late 1\n").ok());
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(CheckOpenMetrics("qplex_jobs_total 3\n# EOF\n").ok());
+  // Counter sample missing the _total suffix.
+  EXPECT_FALSE(CheckOpenMetrics("# TYPE qplex_jobs counter\n"
+                                "qplex_jobs 3\n# EOF\n")
+                   .ok());
+  // Negative counter.
+  EXPECT_FALSE(CheckOpenMetrics("# TYPE qplex_jobs counter\n"
+                                "qplex_jobs_total -1\n# EOF\n")
+                   .ok());
+  // Histogram buckets must be cumulative.
+  EXPECT_FALSE(CheckOpenMetrics("# TYPE qplex_lat histogram\n"
+                                "qplex_lat_bucket{le=\"1\"} 5\n"
+                                "qplex_lat_bucket{le=\"2\"} 3\n"
+                                "qplex_lat_bucket{le=\"+Inf\"} 5\n"
+                                "qplex_lat_sum 4\n"
+                                "qplex_lat_count 5\n# EOF\n")
+                   .ok());
+  // +Inf bucket must equal _count.
+  EXPECT_FALSE(CheckOpenMetrics("# TYPE qplex_lat histogram\n"
+                                "qplex_lat_bucket{le=\"1\"} 2\n"
+                                "qplex_lat_bucket{le=\"+Inf\"} 2\n"
+                                "qplex_lat_sum 4\n"
+                                "qplex_lat_count 5\n# EOF\n")
+                   .ok());
+}
+
+// --- Event-log analysis ------------------------------------------------------
+
+std::filesystem::path WriteEventsFile(const std::string& name,
+                                      const std::string& contents) {
+  const std::filesystem::path path = EventsTempPath(name);
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+  return path;
+}
+
+/// A synthetic two-line trace: job -> solve, plus one job_end.
+std::string TinyEventStream() {
+  return R"({"ts_ms":1,"level":"debug","solver":"trace","event":"span","trace":"00000000000000aa","span":"0000000000000001","parent":"0000000000000000","name":"job","path":"job","count":1,"dur_ms":5.0})"
+         "\n"
+         R"({"ts_ms":2,"level":"debug","solver":"trace","event":"span","trace":"00000000000000aa","span":"0000000000000002","parent":"0000000000000001","name":"solve","path":"job/solve","count":3,"dur_ms":4.0})"
+         "\n"
+         R"({"ts_ms":3,"level":"info","solver":"svc","event":"job_end","trace":"00000000000000aa","job":7,"label":"tiny","backend":"bs","status":"ok","queue_seconds":0.001,"wall_seconds":0.004,"attempts":1,"size":5,"cache_hit":false})"
+         "\n";
+}
+
+TEST(AnalysisTest, LoadEventLogExtractsSpansAndJobs) {
+  const std::filesystem::path path =
+      WriteEventsFile("tiny.jsonl", TinyEventStream() + "not json\n");
+  const Result<EventLog> loaded = LoadEventLog(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const EventLog& log = loaded.value();
+  EXPECT_EQ(log.lines, 4);
+  EXPECT_EQ(log.malformed, 1);
+  ASSERT_EQ(log.spans.size(), 2u);
+  EXPECT_EQ(log.spans[1].path, "job/solve");
+  EXPECT_EQ(log.spans[1].count, 3);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(log.jobs[0].label, "tiny");
+  EXPECT_EQ(log.jobs[0].job, 7);
+  EXPECT_DOUBLE_EQ(log.jobs[0].wall_seconds, 0.004);
+
+  EXPECT_FALSE(LoadEventLog("/nonexistent_qplex_dir/x.jsonl").ok());
+}
+
+TEST(AnalysisTest, BuildTraceForestConnectsAndCountsOrphans) {
+  const std::filesystem::path path =
+      WriteEventsFile("forest.jsonl", TinyEventStream());
+  const Result<EventLog> loaded = LoadEventLog(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const std::vector<TraceSummary> forest = BuildTraceForest(loaded.value());
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(forest[0].label, "tiny");
+  EXPECT_EQ(forest[0].job, 7);
+  ASSERT_EQ(forest[0].roots.size(), 1u);
+  EXPECT_EQ(forest[0].roots[0].record.path, "job");
+  ASSERT_EQ(forest[0].roots[0].children.size(), 1u);
+  EXPECT_EQ(forest[0].roots[0].children[0].record.path, "job/solve");
+  EXPECT_EQ(CountOrphans(forest), 0u);
+
+  // An orphan: parent id that never appears in the trace.
+  EventLog broken = loaded.value();
+  SpanRecord stray = broken.spans[1];
+  stray.span = "0000000000000009";
+  stray.parent = "00000000000000ff";
+  stray.path = "job/stray";
+  broken.spans.push_back(stray);
+  const std::vector<TraceSummary> with_orphan = BuildTraceForest(broken);
+  EXPECT_EQ(CountOrphans(with_orphan), 1u);
+  EXPECT_NE(FormatTraceForest(with_orphan).find("ORPHAN"), std::string::npos);
+}
+
+TEST(AnalysisTest, FormattersAreDeterministicAndDurationFree) {
+  const std::filesystem::path path =
+      WriteEventsFile("fmt.jsonl", TinyEventStream());
+  const Result<EventLog> loaded = LoadEventLog(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const std::vector<TraceSummary> forest = BuildTraceForest(loaded.value());
+
+  const std::string tree = FormatTraceForest(forest);
+  EXPECT_EQ(tree, FormatTraceForest(BuildTraceForest(loaded.value())));
+  EXPECT_NE(tree.find("label=tiny"), std::string::npos);
+  EXPECT_NE(tree.find("solve  count=3"), std::string::npos) << tree;
+  EXPECT_EQ(tree.find("dur"), std::string::npos);  // no durations
+  EXPECT_EQ(tree.find("ms"), std::string::npos);
+
+  const std::string folded = FormatFoldedStacks(forest);
+  EXPECT_NE(folded.find("job;solve 3"), std::string::npos) << folded;
+
+  const std::string latency = FormatLatencyReport(loaded.value());
+  EXPECT_NE(latency.find("bs"), std::string::npos);
+
+  const std::string slo = FormatSloReport(loaded.value(), 100.0);
+  EXPECT_NE(slo.find("bs"), std::string::npos);
 }
 
 TEST(RunReportTest, PrettyStringMentionsMetrics) {

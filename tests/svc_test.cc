@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -23,7 +25,11 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "obs/analysis.h"
+#include "obs/events.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "quantum/statevector.h"
 #include "resilience/fault_injection.h"
 #include "resilience/retry.h"
@@ -725,6 +731,201 @@ TEST_F(SchedulerTest, SecondWaitOnConsumedJobFails) {
   ASSERT_TRUE(scheduler.Wait(id.value()).status.ok());
   EXPECT_EQ(scheduler.Wait(id.value()).status.code(),
             StatusCode::kInvalidArgument);
+}
+
+// --- Request-scoped tracing through the scheduler ----------------------------
+
+std::filesystem::path SvcEventsPath(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qplex_svc_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+/// Records whether a request scope was active while the backend solved, and
+/// what its path looked like.
+class ScopeProbeSolver : public Solver {
+ public:
+  std::string_view name() const override { return "probe"; }
+  Result<SolveOutcome> Solve(const SolveRequest&,
+                             const SolveContext&) const override {
+    const obs::SpanContext* scope = obs::RequestScope::Current();
+    if (scope != nullptr) {
+      observed_paths_.push_back(scope->path);
+    }
+    obs::ProgressHeartbeat heartbeat("probe");
+    if (heartbeat.Due()) {
+      heartbeat.Emit({{"step", 1}});
+    }
+    SolveOutcome outcome;
+    outcome.solution.size = 1;
+    outcome.solution.members = {0};
+    return outcome;
+  }
+
+  mutable std::vector<std::string> observed_paths_;
+};
+
+TEST_F(SchedulerTest, SolverRunsInsideTheJobsRequestScope) {
+  const std::filesystem::path path = SvcEventsPath("scope_probe.jsonl");
+  Result<std::unique_ptr<obs::EventSink>> sink =
+      obs::EventSink::Open(path.string());
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  obs::EventSink::InstallGlobal(sink.value().get());
+
+  SolverRegistry registry;
+  auto solver = std::make_unique<ScopeProbeSolver>();
+  ScopeProbeSolver* probe = solver.get();
+  ASSERT_TRUE(registry.Register(std::move(solver)).ok());
+  {
+    JobSchedulerOptions options = FastRetryOptions();
+    options.num_workers = 1;
+    JobScheduler scheduler(&registry, options);
+    const Result<JobId> id = scheduler.Submit(Request("probe"));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(scheduler.Wait(id.value()).status.ok());
+  }
+  obs::EventSink::InstallGlobal(nullptr);
+
+  ASSERT_EQ(probe->observed_paths_.size(), 1u);
+  // The backend executes under job/racer@.../attempt@1/svc.job/solve.
+  EXPECT_NE(probe->observed_paths_[0].find("attempt@1"), std::string::npos)
+      << probe->observed_paths_[0];
+  EXPECT_NE(probe->observed_paths_[0].find("/solve"), std::string::npos)
+      << probe->observed_paths_[0];
+}
+
+TEST_F(SchedulerTest, RacingJobsKeepIndependentHeartbeatCadences) {
+  // Regression: the heartbeat throttle used to key on (solver, event) only,
+  // so with a long interval the first racing job's heartbeat silenced every
+  // other job's. The key now carries the active trace id.
+  const std::filesystem::path path = SvcEventsPath("racing_heartbeats.jsonl");
+  Result<std::unique_ptr<obs::EventSink>> sink =
+      obs::EventSink::Open(path.string(), 3'600'000);  // one heartbeat/key/hour
+  ASSERT_TRUE(sink.ok()) << sink.status();
+  obs::EventSink::InstallGlobal(sink.value().get());
+
+  SolverRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<ScopeProbeSolver>()).ok());
+  {
+    JobSchedulerOptions options = FastRetryOptions();
+    options.num_workers = 2;
+    options.enable_cache = false;  // both jobs must actually execute
+    JobScheduler scheduler(&registry, options);
+    SolveRequest first = Request("probe");
+    first.label = "race-a";
+    SolveRequest second = Request("probe");
+    second.label = "race-b";
+    const Result<JobId> id_a = scheduler.Submit(std::move(first));
+    const Result<JobId> id_b = scheduler.Submit(std::move(second));
+    ASSERT_TRUE(id_a.ok());
+    ASSERT_TRUE(id_b.ok());
+    ASSERT_TRUE(scheduler.Wait(id_a.value()).status.ok());
+    ASSERT_TRUE(scheduler.Wait(id_b.value()).status.ok());
+  }
+  obs::EventSink::InstallGlobal(nullptr);
+
+  // Both jobs landed their first heartbeat despite the hour-long interval.
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> heartbeat_traces;
+  while (std::getline(in, line)) {
+    const Result<obs::JsonValue> parsed = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const obs::JsonValue* event = parsed.value().Find("event");
+    if (event != nullptr && event->AsString() == "progress") {
+      heartbeat_traces.push_back(parsed.value().Find("trace")->AsString());
+    }
+  }
+  ASSERT_EQ(heartbeat_traces.size(), 2u);
+  EXPECT_NE(heartbeat_traces[0], heartbeat_traces[1]);
+}
+
+/// One seeded chaos batch: flaky retries, an oom->bs fallback hop, and plain
+/// jobs, all on one worker so execution order is the submission order.
+/// Returns the rendered trace forest; asserts basic connectivity.
+std::string RunChaosBatch(const std::string& events_name) {
+  const std::filesystem::path path = SvcEventsPath(events_name);
+  Result<std::unique_ptr<obs::EventSink>> sink =
+      obs::EventSink::Open(path.string());
+  QPLEX_CHECK(sink.ok()) << sink.status().ToString();
+  obs::EventSink::InstallGlobal(sink.value().get());
+
+  SolverRegistry registry = MakeBuiltinRegistry();
+  QPLEX_CHECK(registry.Register(std::make_unique<FlakySolver>(2)).ok());
+  QPLEX_CHECK(registry.Register(std::make_unique<OomSolver>()).ok());
+  QPLEX_CHECK(registry.SetFallback("oom", "bs").ok());
+  {
+    JobSchedulerOptions options = FastRetryOptions();
+    options.num_workers = 1;
+    JobScheduler scheduler(&registry, options);
+    std::vector<JobId> ids;
+    int index = 0;
+    for (const std::string backend : {"flaky", "oom", "bs", "bs"}) {
+      SolveRequest request;
+      request.graph = ParseEdgeList(
+                          "8\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n4 5\n4 6\n"
+                          "5 6\n5 7\n6 7\n")
+                          .value();
+      request.k = 2;
+      request.backend = backend;
+      request.seed = 1;
+      request.label = "chaos-" + std::to_string(index++);
+      const Result<JobId> id = scheduler.Submit(std::move(request));
+      QPLEX_CHECK(id.ok()) << id.status().ToString();
+      ids.push_back(id.value());
+    }
+    for (const JobId id : ids) {
+      const SolveResponse response = scheduler.Wait(id);
+      QPLEX_CHECK(response.status.ok()) << response.status.ToString();
+    }
+  }
+  obs::EventSink::InstallGlobal(nullptr);
+  sink.value().reset();
+
+  const Result<obs::EventLog> log = obs::LoadEventLog(path.string());
+  QPLEX_CHECK(log.ok()) << log.status().ToString();
+  const std::vector<obs::TraceSummary> forest =
+      obs::BuildTraceForest(log.value());
+
+  // Every job is one connected tree: no orphans, and every job_end trace id
+  // has a forest entry whose single root is the "job" span.
+  EXPECT_EQ(obs::CountOrphans(forest), 0u) << obs::FormatTraceForest(forest);
+  EXPECT_EQ(log.value().jobs.size(), 4u);
+  for (const obs::JobRecord& job : log.value().jobs) {
+    const auto match =
+        std::find_if(forest.begin(), forest.end(),
+                     [&job](const obs::TraceSummary& summary) {
+                       return summary.trace == job.trace;
+                     });
+    if (match == forest.end()) {
+      ADD_FAILURE() << "no trace tree for job " << job.label;
+      continue;
+    }
+    if (match->roots.size() != 1u) {
+      ADD_FAILURE() << job.label << ": " << match->roots.size() << " roots";
+      continue;
+    }
+    EXPECT_EQ(match->roots[0].record.name, "job");
+    EXPECT_FALSE(match->roots[0].children.empty()) << job.label;
+  }
+
+  // The retry path shows up as attempt spans + backoff spans, the fallback
+  // path as a fallback@bs hop.
+  const std::string folded = obs::FormatFoldedStacks(forest);
+  EXPECT_NE(folded.find("attempt@3"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("backoff@2"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("fallback@bs"), std::string::npos) << folded;
+  return obs::FormatTraceForest(forest);
+}
+
+TEST_F(SchedulerTest, SeededChaosRunYieldsConnectedByteIdenticalTraces) {
+  obs::MetricsRegistry::Global().Reset();
+  const std::string first = RunChaosBatch("chaos_a.jsonl");
+  const std::string second = RunChaosBatch("chaos_b.jsonl");
+  // Structural span ids + deterministic single-worker scheduling: the whole
+  // reconstructed forest renders byte-identically across same-seed runs.
+  EXPECT_EQ(first, second) << first;
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 //
 //   qplex_cli --input graph.col [--format dimacs|edgelist] [--k 2]
 //             [--algorithm bs|enum|qmkp|qamkp|milp] [--seed 1]
-//             [--threads N] [--metrics-json <file|->] [--verbose-trace]
+//             [--threads N] [--metrics-json <file|->] [--metrics-prom <file>]
+//             [--verbose-trace]
 //             [--events <file|->] [--progress-interval-ms N]
 //
 // With --input - the graph is read from stdin. --metrics-json writes a
 // structured run report (counters, histograms, trace tree) after solving;
+// --metrics-prom writes the same registry as OpenMetrics text exposition;
 // --verbose-trace prints the nested span timings to stderr. --events streams
 // structured JSONL events (run lifecycle + rate-limited solver progress
 // heartbeats) while the solve is running; --progress-interval-ms sets the
@@ -16,6 +18,7 @@
 // bit-identical for any thread count.
 
 #include <charconv>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -34,6 +37,7 @@ struct CliOptions {
   int threads = 1;
   std::uint64_t seed = 1;
   std::string metrics_json;  // empty = no report; "-" = stdout
+  std::string metrics_prom;  // empty = no OpenMetrics exposition
   bool verbose_trace = false;
   std::string events;  // empty = no event stream; "-" = stdout
   int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
@@ -46,7 +50,8 @@ void PrintUsage() {
                "                 [--k <int>] [--algorithm "
                "bs|enum|qmkp|qamkp|milp] [--seed <int>]\n"
                "                 [--threads <int>] [--metrics-json <file|->] "
-               "[--verbose-trace]\n"
+               "[--metrics-prom <file>]\n"
+               "                 [--verbose-trace]\n"
                "                 [--events <file|->] "
                "[--progress-interval-ms <int>]\n"
                "                 [--fault-spec site:rate[:seed]] "
@@ -95,6 +100,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(options.threads, ParseInt<int>(arg, value));
     } else if (arg == "--metrics-json") {
       QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
+    } else if (arg == "--metrics-prom") {
+      QPLEX_ASSIGN_OR_RETURN(options.metrics_prom, next());
     } else if (arg == "--verbose-trace") {
       options.verbose_trace = true;
     } else if (arg == "--events") {
@@ -276,26 +283,34 @@ int Main(int argc, char** argv) {
   // solve only, not process history.
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
-  obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_start",
-                 {{"input", options.value().input},
-                  {"algorithm", options.value().algorithm},
-                  {"k", options.value().k},
-                  {"seed", static_cast<std::int64_t>(options.value().seed)},
-                  {"num_vertices", graph.value().num_vertices()},
-                  {"num_edges", graph.value().num_edges()}});
+  // Every lifecycle emission sits behind EventsEnabled() so a run without
+  // --events never assembles the payload fields at all.
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_start",
+                   {{"input", options.value().input},
+                    {"algorithm", options.value().algorithm},
+                    {"k", options.value().k},
+                    {"seed", static_cast<std::int64_t>(options.value().seed)},
+                    {"num_vertices", graph.value().num_vertices()},
+                    {"num_edges", graph.value().num_edges()}});
+  }
   Stopwatch watch;
   const Result<MkpSolution> solution = Solve(options.value(), graph.value());
   const double wall_seconds = watch.ElapsedSeconds();
   if (!solution.ok()) {
-    obs::EmitEvent(obs::EventLevel::kWarn, "cli", "run_error",
-                   {{"status", solution.status().ToString()},
-                    {"wall_seconds", wall_seconds}});
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kWarn, "cli", "run_error",
+                     {{"status", solution.status().ToString()},
+                      {"wall_seconds", wall_seconds}});
+    }
     std::cerr << "solver failed: " << solution.status() << "\n";
     return 1;
   }
-  obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_end",
-                 {{"solution_size", solution.value().size},
-                  {"wall_seconds", wall_seconds}});
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(obs::EventLevel::kInfo, "cli", "run_end",
+                   {{"solution_size", solution.value().size},
+                    {"wall_seconds", wall_seconds}});
+  }
   std::cout << "size " << solution.value().size << "\nmembers";
   for (Vertex v : solution.value().members) {
     std::cout << " " << v;
@@ -323,6 +338,16 @@ int Main(int argc, char** argv) {
         std::cerr << "metrics report written to "
                   << options.value().metrics_json << "\n";
       }
+    }
+  }
+  if (!options.value().metrics_prom.empty()) {
+    const std::string text =
+        obs::RenderOpenMetrics(obs::MetricsRegistry::Global().Snapshot());
+    std::ofstream out(options.value().metrics_prom, std::ios::trunc);
+    if (!out || !(out << text)) {
+      std::cerr << "failed to write OpenMetrics exposition to "
+                << options.value().metrics_prom << "\n";
+      return 1;
     }
   }
   return 0;

@@ -4,7 +4,9 @@
 //
 //   qplex_serve --jobs <file|-> [--workers N] [--queue-cap N]
 //               [--events <file|->] [--cache on|off]
-//               [--metrics-json <file|->] [--progress-interval-ms N]
+//               [--metrics-json <file|->] [--metrics-prom <file>]
+//               [--metrics-prom-interval-ms N] [--slo-ms X]
+//               [--progress-interval-ms N]
 //               [--journal <file>] [--resume]
 //               [--fault-spec site:rate[:seed]] [--max-sim-bytes N]
 //               [--max-retries N]
@@ -36,6 +38,7 @@
 #include <charconv>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -66,6 +69,9 @@ struct ServeOptions {
   std::string events = "-";
   bool cache = true;
   std::string metrics_json;
+  std::string metrics_prom;         // OpenMetrics exposition path
+  int metrics_prom_interval_ms = 0;  // >0 = periodic snapshots during batch
+  double slo_ms = 0;                 // >0 = per-job latency objective
   int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
   std::string journal;       // WAL path; empty = no journaling
   bool resume = false;       // skip jobs already journaled
@@ -79,7 +85,10 @@ void PrintUsage() {
                "[--queue-cap <int>]\n"
                "                   [--events <file|->] [--cache on|off]\n"
                "                   [--metrics-json <file|->] "
-               "[--progress-interval-ms <int>]\n"
+               "[--metrics-prom <file>]\n"
+               "                   [--metrics-prom-interval-ms <int>] "
+               "[--slo-ms <float>]\n"
+               "                   [--progress-interval-ms <int>]\n"
                "                   [--journal <file>] [--resume]\n"
                "                   [--fault-spec site:rate[:seed]] "
                "[--max-sim-bytes <int>]\n"
@@ -97,6 +106,21 @@ Result<T> ParseInt(const std::string& flag, const std::string& value) {
                                    "'");
   }
   return parsed;
+}
+
+Result<double> ParseFloat(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) {
+      return Status::InvalidArgument("bad number for " + flag + ": '" + value +
+                                     "'");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad number for " + flag + ": '" + value +
+                                   "'");
+  }
 }
 
 Result<ServeOptions> ParseArgs(int argc, char** argv) {
@@ -127,6 +151,15 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
       options.cache = value == "on";
     } else if (arg == "--metrics-json") {
       QPLEX_ASSIGN_OR_RETURN(options.metrics_json, next());
+    } else if (arg == "--metrics-prom") {
+      QPLEX_ASSIGN_OR_RETURN(options.metrics_prom, next());
+    } else if (arg == "--metrics-prom-interval-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.metrics_prom_interval_ms,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--slo-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.slo_ms, ParseFloat(arg, value));
     } else if (arg == "--progress-interval-ms") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.progress_interval_ms,
@@ -175,6 +208,16 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.max_retries < 0) {
     return Status::InvalidArgument("--max-retries must be >= 0");
+  }
+  if (options.metrics_prom_interval_ms < 0) {
+    return Status::InvalidArgument("--metrics-prom-interval-ms must be >= 0");
+  }
+  if (options.metrics_prom_interval_ms > 0 && options.metrics_prom.empty()) {
+    return Status::InvalidArgument(
+        "--metrics-prom-interval-ms requires --metrics-prom");
+  }
+  if (options.slo_ms < 0) {
+    return Status::InvalidArgument("--slo-ms must be >= 0");
   }
   return options;
 }
@@ -430,9 +473,11 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
       ++outcome.failures;
     }
     ++outcome.skipped;
-    obs::EmitEvent(obs::EventLevel::kInfo, "svc", "job_replayed",
-                   {{"label", journaled[i].label},
-                    {"status", journaled[i].status}});
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kInfo, "svc", "job_replayed",
+                     {{"label", journaled[i].label},
+                      {"status", journaled[i].status}});
+    }
   }
 
   std::mutex mutex;
@@ -549,6 +594,67 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
   return outcome;
 }
 
+/// Writes one OpenMetrics snapshot of the global registry, atomically
+/// (tmp file + rename) so a scraper tailing the path never sees a torn
+/// exposition.
+Status WritePromSnapshot(const std::string& path) {
+  const std::string text =
+      obs::RenderOpenMetrics(obs::MetricsRegistry::Global().Snapshot());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open metrics file: " + tmp);
+    }
+    out << text;
+    if (!out) {
+      return Status::Internal("failed writing metrics file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("failed to move metrics file into place: " + path);
+  }
+  return Status::Ok();
+}
+
+/// Background periodic OpenMetrics snapshotter for long serve runs; writes
+/// every interval while the batch executes, and the caller writes one final
+/// snapshot after the scheduler drains.
+class PromSnapshotter {
+ public:
+  PromSnapshotter(std::string path, int interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+  ~PromSnapshotter() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+    }
+  }
+
+ private:
+  void Loop() {
+    int slept_ms = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Sleep in small slices so shutdown is prompt even with big intervals.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      slept_ms += 5;
+      if (slept_ms >= interval_ms_) {
+        slept_ms = 0;
+        (void)WritePromSnapshot(path_);  // transient IO failures retry next tick
+      }
+    }
+  }
+
+  std::string path_;
+  int interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 int Main(int argc, char** argv) {
   // Handlers go in before anything else so a signal during startup already
   // takes the graceful path.
@@ -635,25 +741,32 @@ int Main(int argc, char** argv) {
       static_cast<std::size_t>(options.value().queue_cap);
   scheduler_options.enable_cache = options.value().cache;
   scheduler_options.retry.max_retries = options.value().max_retries;
+  scheduler_options.slo_latency_ms = options.value().slo_ms;
 
-  obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
-                 {{"jobs", static_cast<std::int64_t>(specs.value().size())},
-                  {"workers", options.value().workers},
-                  {"queue_cap", options.value().queue_cap},
-                  {"cache", options.value().cache},
-                  {"resumed", static_cast<std::int64_t>(journaled.size())}});
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
+                   {{"jobs", static_cast<std::int64_t>(specs.value().size())},
+                    {"workers", options.value().workers},
+                    {"queue_cap", options.value().queue_cap},
+                    {"cache", options.value().cache},
+                    {"resumed", static_cast<std::int64_t>(journaled.size())}});
+  }
   Stopwatch watch;
   Result<BatchOutcome> outcome = BatchOutcome{};
   {
+    PromSnapshotter snapshotter(options.value().metrics_prom,
+                                options.value().metrics_prom_interval_ms);
     svc::JobScheduler scheduler(&registry, scheduler_options);
     outcome = RunBatch(&scheduler, std::move(specs).value(), journal.get(),
                        journaled);
   }
   const double wall_seconds = watch.ElapsedSeconds();
   if (!outcome.ok()) {
-    obs::EmitEvent(obs::EventLevel::kWarn, "svc", "batch_error",
-                   {{"status", outcome.status().ToString()},
-                    {"wall_seconds", wall_seconds}});
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kWarn, "svc", "batch_error",
+                     {{"status", outcome.status().ToString()},
+                      {"wall_seconds", wall_seconds}});
+    }
     std::cerr << "batch failed: " << outcome.status() << "\n";
     return 2;
   }
@@ -662,19 +775,31 @@ int Main(int argc, char** argv) {
   const std::int64_t total =
       metrics.GetCounter("svc.jobs.completed").Get() +
       static_cast<std::int64_t>(outcome.value().skipped);
-  obs::EmitEvent(
-      obs::EventLevel::kInfo, "svc", "batch_end",
-      {{"jobs", total},
-       {"failed", outcome.value().failures},
-       {"skipped", outcome.value().skipped},
-       {"interrupted", outcome.value().interrupted},
-       {"retries", metrics.GetCounter("svc.retries.scheduled").Get()},
-       {"fallbacks", metrics.GetCounter("svc.fallbacks.taken").Get()},
-       {"cache_hits", metrics.GetCounter("svc.cache.hits").Get()},
-       {"cache_misses", metrics.GetCounter("svc.cache.misses").Get()},
-       {"wall_seconds", wall_seconds},
-       {"jobs_per_second",
-        wall_seconds > 0 ? static_cast<double>(total) / wall_seconds : 0.0}});
+  if (obs::EventsEnabled()) {
+    obs::EmitEvent(
+        obs::EventLevel::kInfo, "svc", "batch_end",
+        {{"jobs", total},
+         {"failed", outcome.value().failures},
+         {"skipped", outcome.value().skipped},
+         {"interrupted", outcome.value().interrupted},
+         {"retries", metrics.GetCounter("svc.retries.scheduled").Get()},
+         {"fallbacks", metrics.GetCounter("svc.fallbacks.taken").Get()},
+         {"cache_hits", metrics.GetCounter("svc.cache.hits").Get()},
+         {"cache_misses", metrics.GetCounter("svc.cache.misses").Get()},
+         {"wall_seconds", wall_seconds},
+         {"jobs_per_second",
+          wall_seconds > 0 ? static_cast<double>(total) / wall_seconds
+                           : 0.0}});
+  }
+
+  if (!options.value().metrics_prom.empty()) {
+    const Status written = WritePromSnapshot(options.value().metrics_prom);
+    if (!written.ok()) {
+      std::cerr << "failed to write OpenMetrics exposition to "
+                << options.value().metrics_prom << ": " << written << "\n";
+      return 2;
+    }
+  }
 
   if (!options.value().metrics_json.empty()) {
     obs::RunReport report("qplex_serve");

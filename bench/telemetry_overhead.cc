@@ -6,6 +6,9 @@
 //     EventsEnabled() block that assembles a job_start/job_end/job_retry/
 //     job_fallback payload — must stay exactly 0: the disabled hot path
 //     builds no payload strings, copies no option maps, derives no span ids.
+//     The obs.events.incumbent_payloads counter — ticked by every
+//     IncumbentReporter emission — must also stay 0: a disabled reporter
+//     captures no trace/path strings and builds no event payloads.
 //     A non-zero count is a hard bench failure (exit 1), not a warning.
 //
 //  2. Events on (gated): the same batch against a file sink. Every job now
@@ -86,6 +89,15 @@ std::int64_t PayloadsBuilt() {
       .Get();
 }
 
+/// Incumbent/bound payloads assembled by IncumbentReporter instances. Keyed
+/// separately from the scheduler's payload counter so the 2 * jobs invariant
+/// above stays exact while the anytime telemetry is gated on its own.
+std::int64_t IncumbentPayloads() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter("obs.events.incumbent_payloads")
+      .Get();
+}
+
 }  // namespace
 }  // namespace qplex
 
@@ -100,13 +112,20 @@ int main() {
   const std::int64_t off_size = RunBatch(registry, 2, batch);
   const double off_wall = off_watch.ElapsedSeconds();
   const std::int64_t off_payloads = PayloadsBuilt();
+  const std::int64_t off_incumbents = IncumbentPayloads();
   std::cout << "  " << kJobs << " jobs, summed size " << off_size
-            << ", payloads built " << off_payloads << ", wall " << off_wall
-            << " s\n";
+            << ", payloads built " << off_payloads << " (+" << off_incumbents
+            << " incumbent), wall " << off_wall << " s\n";
   if (off_payloads != 0) {
     std::cerr << "FAIL: " << off_payloads
               << " event payloads were assembled with no sink installed; the "
                  "disabled hot path must build zero\n";
+    return 1;
+  }
+  if (off_incumbents != 0) {
+    std::cerr << "FAIL: " << off_incumbents
+              << " incumbent payloads were assembled with no sink installed; "
+                 "a disabled IncumbentReporter must be zero-allocation\n";
     return 1;
   }
 
@@ -123,16 +142,22 @@ int main() {
   const double on_wall = on_watch.ElapsedSeconds();
   obs::EventSink::InstallGlobal(nullptr);
   const std::int64_t on_payloads = PayloadsBuilt();
+  const std::int64_t on_incumbents = IncumbentPayloads();
   const std::int64_t event_lines = sink.value()->lines_written();
   sink.value().reset();
   std::remove(events_path.c_str());
   std::cout << "  " << kJobs << " jobs, summed size " << on_size
-            << ", payloads built " << on_payloads << " (" << event_lines
-            << " lines), wall " << on_wall << " s\n";
+            << ", payloads built " << on_payloads << " (+" << on_incumbents
+            << " incumbent, " << event_lines << " lines), wall " << on_wall
+            << " s\n";
   QPLEX_CHECK(on_size == off_size) << "tracing changed solver results";
   QPLEX_CHECK(on_payloads == 2 * kJobs)
       << "expected one job_start + one job_end payload per job, got "
       << on_payloads;
+  // Seeded bs jobs improve their incumbent deterministically at least once
+  // (the greedy seed plex), so the events-on count is a stable gate value.
+  QPLEX_CHECK(on_incumbents >= kJobs)
+      << "expected every job to report incumbents, got " << on_incumbents;
 
   const double ratio = off_wall > 0 ? on_wall / off_wall : 0;
   std::cout << "\n  events-on/off wall ratio: " << ratio << "\n";
@@ -145,6 +170,10 @@ int main() {
   metrics.GetCounter("telemetry.jobs").Add(kJobs);
   metrics.GetCounter("telemetry.payloads_built_events_off").Add(off_payloads);
   metrics.GetCounter("telemetry.payloads_built_events_on").Add(on_payloads);
+  metrics.GetCounter("telemetry.incumbent_payloads_events_off")
+      .Add(off_incumbents);
+  metrics.GetCounter("telemetry.incumbent_payloads_events_on")
+      .Add(on_incumbents);
   metrics.GetCounter("telemetry.solution_size").Add(off_size);
 
   obs::RunReport report("Telemetry");

@@ -7,17 +7,18 @@ namespace anneal_internal {
 
 void RecordSample(const QuboModel& model, const QuboSample& sample,
                   double budget_micros, AnnealResult* result,
-                  obs::ProgressHeartbeat* heartbeat) {
+                  obs::ProgressHeartbeat* heartbeat, const AnnealHooks* hooks) {
   const double energy = model.Evaluate(sample);
   if (result->best_sample.empty() || energy < result->best_energy) {
     result->best_energy = energy;
     result->best_sample = sample;
+    if (hooks != nullptr && hooks->on_new_best) {
+      hooks->on_new_best(sample, energy, result->sweeps);
+    }
   }
   result->trace.push_back(CostTracePoint{budget_micros, result->best_energy});
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("anneal.samples").Increment();
-  registry.GetSeries("anneal.best_energy_trajectory")
-      .Append(result->best_energy);
   if (heartbeat != nullptr && heartbeat->Due()) {
     heartbeat->Emit({{"best_energy", result->best_energy},
                      {"shots", result->shots},

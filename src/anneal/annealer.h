@@ -2,6 +2,7 @@
 #define QPLEX_ANNEAL_ANNEALER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -38,16 +39,30 @@ struct AnnealResult {
   std::vector<CostTracePoint> trace;
 };
 
+/// Observer callbacks shared by every annealing-style solver. All optional;
+/// invoked synchronously on the annealing thread.
+struct AnnealHooks {
+  /// Fires whenever the run's best energy strictly improves, with the sweep
+  /// count spent so far — the deterministic work axis of the anytime curve.
+  /// Service adapters repair the sample to a k-plex here and feed the
+  /// incumbent timeline.
+  std::function<void(const QuboSample& sample, double energy,
+                     std::int64_t sweeps)>
+      on_new_best;
+};
+
 /// Shared base utilities for the annealers.
 namespace anneal_internal {
 
 /// Updates `result` with a candidate sample; appends a trace point at
 /// `budget_micros`. When `heartbeat` is non-null and due, also emits a
 /// progress event (best energy, shots, modeled budget) into the global
-/// event stream — the live view of the anytime cost curve.
+/// event stream — the live view of the anytime cost curve. When `hooks` is
+/// non-null, a strict best-energy improvement fires hooks->on_new_best.
 void RecordSample(const QuboModel& model, const QuboSample& sample,
                   double budget_micros, AnnealResult* result,
-                  obs::ProgressHeartbeat* heartbeat = nullptr);
+                  obs::ProgressHeartbeat* heartbeat = nullptr,
+                  const AnnealHooks* hooks = nullptr);
 
 /// A deterministic random initial sample.
 QuboSample RandomSample(int num_variables, Rng& rng);

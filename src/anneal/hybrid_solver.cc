@@ -86,7 +86,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
         restart.modeled_micros + flips * options_.micros_per_sweep;
     ++result.shots;
     anneal_internal::RecordSample(model, polished, result.modeled_micros,
-                                  &result, &heartbeat);
+                                  &result, &heartbeat, &options_.hooks);
     if (!result.completed) {
       break;  // budget exhausted mid-restart; keep the polished incumbent
     }
@@ -109,7 +109,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
     result.sweeps += hop_flips;
     result.modeled_micros += hop_flips * options_.micros_per_sweep;
     anneal_internal::RecordSample(model, hop, result.modeled_micros, &result,
-                                  &heartbeat);
+                                  &heartbeat, &options_.hooks);
   }
   // The service returns no earlier than its runtime floor.
   result.modeled_micros =
@@ -123,7 +123,7 @@ Result<AnnealResult> HybridSolver::Run(const QuboModel& model) const {
   registry.GetCounter("anneal.hybrid.restarts").Add(result.shots);
   registry.GetCounter("anneal.hybrid.basin_hops").Add(basin_hops);
   registry.GetCounter("anneal.hybrid.polish_flips").Add(polish_flips);
-  registry.GetGauge("anneal.hybrid.best_energy").Set(result.best_energy);
+  registry.GetGauge("anneal.hybrid.best_energy").SetMin(result.best_energy);
   return result;
 }
 

@@ -37,6 +37,10 @@ struct HybridSolverOptions {
   /// Optional cooperative cancellation; polled with the deadline.
   const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+  /// Observer callbacks, fired on the hybrid portfolio's own best-energy
+  /// improvements (inner SA restarts stay silent: each restarts from scratch
+  /// and would reset the anytime curve). All optional.
+  AnnealHooks hooks;
 };
 
 class HybridSolver {

@@ -86,10 +86,29 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
         options_.micros_per_sweep * options_.sweeps_per_round * R;
     // Record the coldest replica (and implicitly the global best).
     anneal_internal::RecordSample(model, replicas[R - 1],
-                                  result.modeled_micros, &result, &heartbeat);
+                                  result.modeled_micros, &result, &heartbeat,
+                                  &options_.hooks);
   }
   result.shots = options_.rounds;
   result.wall_seconds = watch.ElapsedSeconds();
+  if (obs::EventsEnabled()) {
+    // Final replica ladder: one event with the per-replica beta/energy
+    // vectors, so the convergence view can show where each temperature
+    // ended up and how mobile the ladder was (swap acceptance).
+    obs::JsonValue beta_array = obs::JsonValue::Array();
+    obs::JsonValue energy_array = obs::JsonValue::Array();
+    for (int r = 0; r < R; ++r) {
+      beta_array.Append(betas[r]);
+      energy_array.Append(energies[r]);
+    }
+    obs::EmitEvent(obs::EventLevel::kInfo, "anneal.pt", "replicas",
+                   {{"trace", std::string(obs::CurrentTraceToken())},
+                    {"betas", std::move(beta_array)},
+                    {"energies", std::move(energy_array)},
+                    {"rounds", options_.rounds},
+                    {"swaps_accepted", swaps_accepted},
+                    {"completed", result.completed}});
+  }
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("anneal.pt.runs").Increment();
   registry.GetCounter("anneal.pt.rounds").Add(options_.rounds);
@@ -100,7 +119,7 @@ Result<AnnealResult> ParallelTempering::Run(const QuboModel& model) const {
   registry.GetCounter("anneal.pt.swap_attempts")
       .Add(static_cast<std::int64_t>(options_.rounds) * (R - 1));
   registry.GetCounter("anneal.pt.swaps_accepted").Add(swaps_accepted);
-  registry.GetGauge("anneal.pt.best_energy").Set(result.best_energy);
+  registry.GetGauge("anneal.pt.best_energy").SetMin(result.best_energy);
   return result;
 }
 

@@ -28,6 +28,8 @@ struct ParallelTemperingOptions {
   /// Optional cooperative cancellation; polled with the deadline.
   const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+  /// Observer callbacks (best-energy improvements); all optional.
+  AnnealHooks hooks;
 };
 
 class ParallelTempering {

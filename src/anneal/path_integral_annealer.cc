@@ -128,7 +128,8 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
       }
     }
     anneal_internal::RecordSample(model, best_shot_sample,
-                                  result.modeled_micros, &result, &heartbeat);
+                                  result.modeled_micros, &result, &heartbeat,
+                                  &options_.hooks);
   }
   result.wall_seconds = watch.ElapsedSeconds();
   auto& registry = obs::MetricsRegistry::Global();
@@ -138,7 +139,7 @@ Result<AnnealResult> PathIntegralAnnealer::Run(const QuboModel& model) const {
   registry.GetCounter("anneal.sqa.moves_proposed")
       .Add(result.sweeps * static_cast<std::int64_t>(n) * P);
   registry.GetCounter("anneal.sqa.moves_accepted").Add(flips_accepted);
-  registry.GetGauge("anneal.sqa.best_energy").Set(result.best_energy);
+  registry.GetGauge("anneal.sqa.best_energy").SetMin(result.best_energy);
   return result;
 }
 

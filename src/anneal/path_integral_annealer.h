@@ -41,6 +41,8 @@ struct PathIntegralAnnealerOptions {
   /// Optional cooperative cancellation; polled with the deadline.
   const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+  /// Observer callbacks (best-energy improvements); all optional.
+  AnnealHooks hooks;
 };
 
 class PathIntegralAnnealer {

@@ -62,7 +62,7 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
     result.modeled_micros +=
         options_.micros_per_sweep * options_.sweeps_per_shot;
     anneal_internal::RecordSample(model, sample, result.modeled_micros,
-                                  &result, &heartbeat);
+                                  &result, &heartbeat, &options_.hooks);
   }
   result.wall_seconds = watch.ElapsedSeconds();
   auto& registry = obs::MetricsRegistry::Global();
@@ -72,7 +72,7 @@ Result<AnnealResult> SimulatedAnnealer::Run(const QuboModel& model) const {
   registry.GetCounter("anneal.sa.moves_proposed")
       .Add(result.sweeps * static_cast<std::int64_t>(n));
   registry.GetCounter("anneal.sa.moves_accepted").Add(moves_accepted);
-  registry.GetGauge("anneal.sa.best_energy").Set(result.best_energy);
+  registry.GetGauge("anneal.sa.best_energy").SetMin(result.best_energy);
   return result;
 }
 

@@ -29,6 +29,8 @@ struct SimulatedAnnealerOptions {
   /// together with the deadline. May be null.
   const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+  /// Observer callbacks (best-energy improvements); all optional.
+  AnnealHooks hooks;
 };
 
 class SimulatedAnnealer {

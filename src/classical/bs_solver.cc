@@ -79,7 +79,8 @@ struct BsSolver::SearchContext {
   obs::ProgressHeartbeat heartbeat{"bs"};
   /// Maps reduced-graph ids back to the caller's ids before invoking the
   /// user's on_incumbent callback.
-  std::function<void(const MkpSolution&)> report_incumbent;
+  std::function<void(const MkpSolution&, const BsSolverStats&)>
+      report_incumbent;
 };
 
 void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
@@ -107,7 +108,7 @@ void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
     ctx.best.mask = chosen;
     ctx.best.members = MaskToBitset(ctx.n, chosen).ToList();
     if (ctx.report_incumbent) {
-      ctx.report_incumbent(ctx.best);
+      ctx.report_incumbent(ctx.best, stats_);
     }
   }
 
@@ -202,7 +203,11 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   const auto adjacency = AdjacencyMasks(graph);
   best = GreedyKPlex(graph, adjacency, k);
   if (options_.on_incumbent && best.size > 0) {
-    options_.on_incumbent(best);
+    options_.on_incumbent(best, stats_);
+  }
+  if (options_.on_bound) {
+    // The trivial bound before any pruning: every vertex could be in the plex.
+    options_.on_bound(n, stats_);
   }
 
   // Reduce the graph for "strictly better than the greedy bound" and search
@@ -216,6 +221,11 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
     obs::MetricsRegistry::Global()
         .GetCounter("bs.reduction_removed_vertices")
         .Add(n - reduction.reduced.num_vertices());
+    if (options_.on_bound) {
+      // Survivors of the reduction bound any plex beating the incumbent.
+      options_.on_bound(
+          std::max(best.size, reduction.reduced.num_vertices()), stats_);
+    }
   }
 
   SearchContext ctx;
@@ -233,7 +243,8 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   // id spaces, so only the size transfers).
   ctx.best.size = best.size;
   if (options_.on_incumbent) {
-    ctx.report_incumbent = [&](const MkpSolution& reduced_solution) {
+    ctx.report_incumbent = [&](const MkpSolution& reduced_solution,
+                               const BsSolverStats& stats) {
       MkpSolution mapped;
       mapped.size = reduced_solution.size;
       for (Vertex v : reduced_solution.members) {
@@ -243,7 +254,7 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
         mapped.mask |= std::uint64_t{1} << original;
       }
       std::sort(mapped.members.begin(), mapped.members.end());
-      options_.on_incumbent(mapped);
+      options_.on_incumbent(mapped, stats);
     };
   }
 
@@ -284,6 +295,10 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   if (ctx.aborted) {
     // Deadline fired; report the incumbent through stats_ and a soft error.
     return best;
+  }
+  if (options_.on_bound) {
+    // Search exhausted: the incumbent is optimal, so the bound meets it.
+    options_.on_bound(best.size, stats_);
   }
   return best;
 }

@@ -12,6 +12,15 @@
 
 namespace qplex {
 
+/// Search statistics of a BS run.
+struct BsSolverStats {
+  std::int64_t branch_nodes = 0;
+  std::int64_t prunes_bound = 0;
+  std::int64_t prunes_infeasible = 0;
+  double elapsed_seconds = 0;
+  bool completed = true;  ///< false when the deadline fired first
+};
+
 /// Options for the branch-and-search baseline.
 struct BsSolverOptions {
   /// Apply the core/truss reduction (classical::ReduceForTarget) before and
@@ -26,17 +35,14 @@ struct BsSolverOptions {
   /// Optional cooperative cancellation (service portfolio races); polled
   /// together with the deadline. May be null.
   const CancelToken* cancel = nullptr;
-  /// Invoked whenever the incumbent improves (progressive reporting).
-  std::function<void(const MkpSolution&)> on_incumbent;
-};
-
-/// Search statistics of a BS run.
-struct BsSolverStats {
-  std::int64_t branch_nodes = 0;
-  std::int64_t prunes_bound = 0;
-  std::int64_t prunes_infeasible = 0;
-  double elapsed_seconds = 0;
-  bool completed = true;  ///< false when the deadline fired first
+  /// Invoked whenever the incumbent improves (progressive reporting). The
+  /// stats argument carries the deterministic work spent so far (branch
+  /// nodes, prune counters) at the moment of the improvement.
+  std::function<void(const MkpSolution&, const BsSolverStats&)> on_incumbent;
+  /// Invoked whenever the proven upper bound on the maximum k-plex tightens:
+  /// once at the trivial bound n, after graph reduction, and at completion
+  /// (bound = incumbent size, gap closed).
+  std::function<void(double upper_bound, const BsSolverStats&)> on_bound;
 };
 
 /// The classical exact baseline the paper compares against ("BS",

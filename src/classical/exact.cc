@@ -44,6 +44,10 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
     if (size > best.size && IsKPlexMask(adjacency, mask, k)) {
       best.size = size;
       best.mask = mask;
+      if (control.on_incumbent) {
+        best.members = MaskToBitset(n, best.mask).ToList();
+        control.on_incumbent(best, mask + 1);
+      }
     }
   }
   best.members = MaskToBitset(n, best.mask).ToList();

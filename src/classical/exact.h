@@ -2,6 +2,7 @@
 #define QPLEX_CLASSICAL_EXACT_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "common/cancel.h"
 #include "common/status.h"
@@ -23,6 +24,10 @@ struct EnumerationControl {
   double time_limit_seconds = 0;  ///< <= 0: unlimited
   const CancelToken* cancel = nullptr;
   bool* completed = nullptr;  ///< written when non-null
+  /// Invoked on every strict incumbent improvement with the number of masks
+  /// scanned so far (the scan's deterministic work unit).
+  std::function<void(const MkpSolution& best, std::uint64_t masks_scanned)>
+      on_incumbent;
 };
 
 /// Exhaustive maximum k-plex over all 2^n subsets — the ground truth every

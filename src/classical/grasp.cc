@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "graph/kplex.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -138,7 +139,6 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
     return best;
   }
   obs::TraceSpan span("grasp.solve");
-  std::int64_t improvements = 0;
   const auto adjacency = AdjacencyMasks(graph);
   Rng rng(options_.seed);
   const Deadline deadline = options_.time_limit_seconds > 0
@@ -157,7 +157,11 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
     if (std::popcount(plex) > best.size) {
       best.size = std::popcount(plex);
       best.mask = plex;
-      ++improvements;
+      ++stats_.improvements;
+      if (options_.on_incumbent) {
+        best.members = MaskToBitset(n, best.mask).ToList();
+        options_.on_incumbent(best, iteration + 1);
+      }
     }
     ++stats_.iterations_run;
   }
@@ -165,8 +169,18 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("grasp.solves").Increment();
   registry.GetCounter("grasp.iterations").Add(stats_.iterations_run);
-  registry.GetCounter("grasp.improvements").Add(improvements);
-  registry.GetGauge("grasp.best_size").Set(best.size);
+  registry.GetCounter("grasp.improvements").Add(stats_.improvements);
+  registry.GetGauge("grasp.best_size").SetMax(best.size);
+  if (obs::EventsEnabled()) {
+    // End-of-run restart roll-up: how many restarts ran and how many paid off
+    // — the GRASP-family convergence signal beyond the incumbent timeline.
+    obs::EmitEvent(obs::EventLevel::kInfo, "grasp", "restart_stats",
+                   {{"trace", std::string(obs::CurrentTraceToken())},
+                    {"iterations_run", stats_.iterations_run},
+                    {"improvements", stats_.improvements},
+                    {"best_size", best.size},
+                    {"completed", stats_.completed}});
+  }
   return best;
 }
 

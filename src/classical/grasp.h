@@ -2,6 +2,7 @@
 #define QPLEX_CLASSICAL_GRASP_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "classical/exact.h"
 #include "common/cancel.h"
@@ -28,11 +29,15 @@ struct GraspOptions {
   /// Optional cooperative cancellation; polled with the deadline.
   const CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
+  /// Invoked on every strict best-plex improvement with the 1-based restart
+  /// iteration that produced it.
+  std::function<void(const MkpSolution& best, int iteration)> on_incumbent;
 };
 
 /// Outcome bookkeeping of one GRASP run.
 struct GraspStats {
   int iterations_run = 0;
+  std::int64_t improvements = 0;  ///< restarts that improved the incumbent
   bool completed = true;  ///< false when the deadline/cancellation fired
 };
 

@@ -20,6 +20,8 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
       registry.GetSeries("qmkp.threshold_trajectory");
   obs::Series& best_size_trajectory =
       registry.GetSeries("qmkp.best_size_trajectory");
+  obs::Series& success_trajectory =
+      registry.GetSeries("qmkp.success_probability_trajectory");
   Stopwatch watch;
 
   const int n = graph.num_vertices();
@@ -93,6 +95,7 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
     }
     result.probes.push_back(probe);
     best_size_trajectory.Append(result.best_size);
+    success_trajectory.Append(1.0 - probe.error_probability);
     // Probes are O(log n) per run, so every one is worth a line: this is the
     // live view of the paper's progressive-search claim.
     if (obs::EventsEnabled()) {
@@ -102,6 +105,7 @@ Result<QmkpResult> RunQmkp(const Graph& graph, int k,
            {"feasible", probe.feasible},
            {"found_size", probe.found_size},
            {"best_size", result.best_size},
+           {"success_probability", 1.0 - probe.error_probability},
            {"total_oracle_calls", result.total_oracle_calls},
            {"total_gate_cost", result.total_gate_cost},
            {"elapsed_ms", watch.ElapsedMillis()}});

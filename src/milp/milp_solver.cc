@@ -38,6 +38,9 @@ Result<MilpSolution> MilpSolver::Solve(const MilpProblem& problem) const {
       solution.x = std::move(x);
       solution.trace.push_back(
           MilpTracePoint{watch.ElapsedSeconds(), objective});
+      if (options_.on_incumbent) {
+        options_.on_incumbent(solution.x, objective, solution.nodes);
+      }
     }
   };
 
@@ -107,6 +110,10 @@ Result<MilpSolution> MilpSolver::Solve(const MilpProblem& problem) const {
     if (lp_solution.status == LpStatus::kUnbounded) {
       return Status::InvalidArgument("MILP relaxation is unbounded");
     }
+    if (solution.nodes == 1 && options_.on_bound) {
+      // The root relaxation is the search's initial proven dual bound.
+      options_.on_bound(lp_solution.objective, solution.nodes);
+    }
     if (solution.feasible && lp_solution.objective >= incumbent - 1e-9) {
       continue;  // dominated
     }
@@ -153,6 +160,10 @@ Result<MilpSolution> MilpSolver::Solve(const MilpProblem& problem) const {
 
   solution.optimal = solution.feasible;
   solution.seconds = watch.ElapsedSeconds();
+  if (solution.optimal && options_.on_bound) {
+    // Tree exhausted: the dual bound meets the incumbent objective.
+    options_.on_bound(solution.objective, solution.nodes);
+  }
   return solution;
 }
 

@@ -52,6 +52,15 @@ struct MilpSolverOptions {
   std::function<bool(const std::vector<double>& lp_x, std::vector<double>* x,
                      double* objective)>
       incumbent_heuristic;
+  /// Invoked on every strict incumbent improvement with the node count spent
+  /// so far (the search's deterministic work unit).
+  std::function<void(const std::vector<double>& x, double objective,
+                     std::int64_t nodes)>
+      on_incumbent;
+  /// Invoked when the proven dual bound changes: once with the root LP
+  /// relaxation, and at completion with the optimal objective (gap closed).
+  /// The MILP minimizes, so bounds here are lower bounds on the objective.
+  std::function<void(double bound, std::int64_t nodes)> on_bound;
 };
 
 /// Branch-and-bound binary MILP solver over the dense simplex — qplex's

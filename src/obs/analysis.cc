@@ -84,6 +84,7 @@ Result<EventLog> LoadEventLog(const std::string& path) {
   }
   EventLog log;
   std::string text;
+  std::set<std::int64_t> seqs_seen;
   while (std::getline(in, text)) {
     ++log.lines;
     if (text.empty()) {
@@ -95,6 +96,16 @@ Result<EventLog> LoadEventLog(const std::string& path) {
       continue;
     }
     const JsonValue& line = parsed.value();
+    const JsonValue* seq_field = line.Find("seq");
+    if (seq_field != nullptr && seq_field->is_number()) {
+      ++log.seq_present;
+      const auto seq = static_cast<std::int64_t>(seq_field->AsDouble());
+      if (!seqs_seen.insert(seq).second) {
+        ++log.seq_duplicates;
+      }
+    } else {
+      ++log.seq_missing;  // pre-PR7 logs and hand-written fixtures
+    }
     const std::string event = GetString(line, "event");
     if (event == "span") {
       SpanRecord span;
@@ -122,8 +133,61 @@ Result<EventLog> LoadEventLog(const std::string& path) {
       job.wall_seconds = GetDouble(line, "wall_seconds");
       job.attempts = GetInt(line, "attempts");
       job.size = GetInt(line, "size");
+      job.racers = GetInt(line, "racers");
+      job.winner_margin = GetInt(line, "winner_margin");
       job.cache_hit = GetBool(line, "cache_hit");
       log.jobs.push_back(std::move(job));
+    } else if (event == "job_start") {
+      JobStartRecord start;
+      start.job = GetInt(line, "job");
+      start.label = GetString(line, "label");
+      start.trace = GetString(line, "trace");
+      start.k = GetInt(line, "k");
+      start.n = GetInt(line, "num_vertices");
+      // "backends" is the scheduler's "+"-joined portfolio ("bs+enum+sa").
+      const std::string joined = GetString(line, "backends");
+      std::size_t begin = 0;
+      while (begin <= joined.size() && !joined.empty()) {
+        const std::size_t end = joined.find('+', begin);
+        start.backends.push_back(
+            joined.substr(begin, end == std::string::npos ? end : end - begin));
+        if (end == std::string::npos) {
+          break;
+        }
+        begin = end + 1;
+      }
+      log.job_starts.push_back(std::move(start));
+    } else if (event == "incumbent") {
+      IncumbentRecord incumbent;
+      incumbent.trace = GetString(line, "trace");
+      incumbent.solver = GetString(line, "solver");
+      incumbent.path = GetString(line, "path");
+      incumbent.size = GetInt(line, "size");
+      incumbent.work = GetInt(line, "work");
+      incumbent.improvement = GetInt(line, "improvement");
+      const JsonValue* value = line.Find("value");
+      if (value != nullptr && value->is_number()) {
+        incumbent.has_value = true;
+        incumbent.value = value->AsDouble();
+      }
+      incumbent.elapsed_ms = GetDouble(line, "elapsed_ms");
+      incumbent.seq = seq_field != nullptr && seq_field->is_number()
+                          ? static_cast<std::int64_t>(seq_field->AsDouble())
+                          : -1;
+      log.incumbents.push_back(std::move(incumbent));
+    } else if (event == "bound") {
+      BoundRecord bound;
+      bound.trace = GetString(line, "trace");
+      bound.solver = GetString(line, "solver");
+      bound.path = GetString(line, "path");
+      bound.bound = GetDouble(line, "bound");
+      bound.work = GetInt(line, "work");
+      bound.update = GetInt(line, "update");
+      bound.elapsed_ms = GetDouble(line, "elapsed_ms");
+      bound.seq = seq_field != nullptr && seq_field->is_number()
+                      ? static_cast<std::int64_t>(seq_field->AsDouble())
+                      : -1;
+      log.bounds.push_back(std::move(bound));
     } else if (event == "job_replayed") {
       log.replayed_labels.push_back(GetString(line, "label"));
     } else if (event == "job_retry") {
@@ -131,6 +195,10 @@ Result<EventLog> LoadEventLog(const std::string& path) {
     } else if (event == "job_fallback") {
       ++log.fallbacks;
     }
+  }
+  if (!seqs_seen.empty()) {
+    const std::int64_t span = *seqs_seen.rbegin() - *seqs_seen.begin() + 1;
+    log.seq_gaps = span - static_cast<std::int64_t>(seqs_seen.size());
   }
   return log;
 }

@@ -34,18 +34,67 @@ struct JobRecord {
   double wall_seconds = 0;
   std::int64_t attempts = 0;
   std::int64_t size = 0;
+  std::int64_t racers = 0;        ///< portfolio width (0 on pre-PR7 logs)
+  std::int64_t winner_margin = 0; ///< winner size minus best losing racer
   bool cache_hit = false;
+};
+
+/// One admitted job (a job_start line), carrying the instance shape.
+struct JobStartRecord {
+  std::int64_t job = 0;
+  std::string label;
+  std::string trace;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<std::string> backends;
+};
+
+/// One "incumbent" event line: a strict best-solution improvement inside a
+/// backend, keyed to the structural span (trace + path) that produced it.
+struct IncumbentRecord {
+  std::string trace;
+  std::string solver;
+  std::string path;        ///< request-scope path; empty for plain CLI solves
+  std::int64_t size = 0;
+  std::int64_t work = 0;   ///< backend-native deterministic progress units
+  std::int64_t improvement = 0;  ///< 1-based per-timeline index
+  bool has_value = false;
+  double value = 0;        ///< native objective (energy / MILP objective)
+  double elapsed_ms = 0;
+  std::int64_t seq = -1;   ///< envelope sequence number; -1 when absent
+};
+
+/// One "bound" event line: a dual/upper-bound update from a bounded search.
+struct BoundRecord {
+  std::string trace;
+  std::string solver;
+  std::string path;
+  double bound = 0;
+  std::int64_t work = 0;
+  std::int64_t update = 0;  ///< 1-based per-timeline index
+  double elapsed_ms = 0;
+  std::int64_t seq = -1;
 };
 
 /// Everything the analyzer extracts from one events file.
 struct EventLog {
   std::vector<SpanRecord> spans;
   std::vector<JobRecord> jobs;
+  std::vector<JobStartRecord> job_starts;
+  std::vector<IncumbentRecord> incumbents;
+  std::vector<BoundRecord> bounds;
   std::vector<std::string> replayed_labels;  ///< job_replayed (WAL replays)
   std::int64_t retries = 0;
   std::int64_t fallbacks = 0;
   std::int64_t lines = 0;
   std::int64_t malformed = 0;  ///< lines that failed to parse as JSON
+  /// Envelope "seq" stamp accounting across every parsed line. Gaps are
+  /// expected when one process feeds several sinks (the counter is shared);
+  /// duplicates within one merged stream are a validation failure.
+  std::int64_t seq_present = 0;
+  std::int64_t seq_missing = 0;     ///< parsed lines without a "seq" field
+  std::int64_t seq_duplicates = 0;  ///< stamps seen more than once
+  std::int64_t seq_gaps = 0;        ///< missing stamps inside [min, max]
 };
 
 /// Parses an --events JSONL file. IO failure is an error; individual

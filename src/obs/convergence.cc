@@ -1,0 +1,354 @@
+#include "obs/convergence.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace qplex::obs {
+namespace {
+
+std::string FormatMs(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+std::string FormatBound(double bound) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", bound);
+  return buffer;
+}
+
+/// "job/racer@bs/attempt@1/solve" -> "racer@bs/attempt@1"; empty -> "(direct)".
+std::string DisplayPath(const std::string& path) {
+  if (path.empty()) {
+    return "(direct)";
+  }
+  std::string display = path;
+  constexpr std::string_view kJobPrefix = "job/";
+  if (display.rfind(kJobPrefix, 0) == 0) {
+    display.erase(0, kJobPrefix.size());
+  }
+  constexpr std::string_view kSolveSuffix = "/solve";
+  if (display.size() >= kSolveSuffix.size() &&
+      display.compare(display.size() - kSolveSuffix.size(),
+                      kSolveSuffix.size(), kSolveSuffix) == 0) {
+    display.erase(display.size() - kSolveSuffix.size());
+  }
+  return display.empty() ? "(direct)" : display;
+}
+
+/// The racer a path belongs to ("racer@bs/attempt@2" -> "bs"); empty when the
+/// path has no racer component (plain CLI solves).
+std::string RacerOf(const std::string& path) {
+  constexpr std::string_view kMarker = "racer@";
+  const std::size_t at = path.find(kMarker);
+  if (at == std::string::npos) {
+    return "";
+  }
+  const std::size_t begin = at + kMarker.size();
+  const std::size_t end = path.find('/', begin);
+  return path.substr(begin, end == std::string::npos ? end : end - begin);
+}
+
+/// A timeline is one reporter's emission stream: all events sharing
+/// (trace, path, solver).
+using TimelineKey = std::tuple<std::string, std::string, std::string>;
+
+TimelineKey KeyOf(const IncumbentRecord& r) {
+  return {r.trace, r.path, r.solver};
+}
+
+TimelineKey KeyOf(const BoundRecord& r) { return {r.trace, r.path, r.solver}; }
+
+struct Timeline {
+  std::vector<const IncumbentRecord*> points;
+  std::vector<const BoundRecord*> bound_points;
+};
+
+/// Timelines grouped per trace, ordered by (path, solver).
+using TraceTimelines = std::map<TimelineKey, Timeline>;
+
+std::map<std::string, TraceTimelines> GroupByTrace(const EventLog& log) {
+  std::map<std::string, TraceTimelines> by_trace;
+  for (const IncumbentRecord& record : log.incumbents) {
+    by_trace[record.trace][KeyOf(record)].points.push_back(&record);
+  }
+  for (const BoundRecord& record : log.bounds) {
+    by_trace[record.trace][KeyOf(record)].bound_points.push_back(&record);
+  }
+  for (auto& [trace, timelines] : by_trace) {
+    for (auto& [key, timeline] : timelines) {
+      std::sort(timeline.points.begin(), timeline.points.end(),
+                [](const IncumbentRecord* a, const IncumbentRecord* b) {
+                  return a->improvement < b->improvement;
+                });
+      std::sort(timeline.bound_points.begin(), timeline.bound_points.end(),
+                [](const BoundRecord* a, const BoundRecord* b) {
+                  return a->update < b->update;
+                });
+    }
+  }
+  return by_trace;
+}
+
+void AppendTimelines(const TraceTimelines& timelines,
+                     const ConvergenceOptions& options, std::string* out) {
+  for (const auto& [key, timeline] : timelines) {
+    const auto& [trace, path, solver] = key;
+    if (!timeline.points.empty()) {
+      const IncumbentRecord* best = timeline.points.back();
+      *out += "  timeline " + solver + " @ " + DisplayPath(path) +
+              "  improvements=" +
+              std::to_string(timeline.points.size()) +
+              " best=" + std::to_string(best->size);
+      if (options.include_timing) {
+        *out += " t_first=" + FormatMs(timeline.points.front()->elapsed_ms) +
+                "ms t_best=" + FormatMs(best->elapsed_ms) + "ms";
+      }
+      *out += "\n";
+      for (const IncumbentRecord* point : timeline.points) {
+        *out += "    #" + std::to_string(point->improvement) +
+                " size=" + std::to_string(point->size) +
+                " work=" + std::to_string(point->work);
+        if (point->has_value) {
+          *out += " value=" + FormatBound(point->value);
+        }
+        if (options.include_timing) {
+          *out += " t=" + FormatMs(point->elapsed_ms) + "ms";
+        }
+        *out += "\n";
+      }
+    }
+    if (!timeline.bound_points.empty()) {
+      *out += "  bound " + solver + " @ " + DisplayPath(path) + "  updates=" +
+              std::to_string(timeline.bound_points.size()) + " final=" +
+              FormatBound(timeline.bound_points.back()->bound) + "\n";
+      for (const BoundRecord* point : timeline.bound_points) {
+        *out += "    #" + std::to_string(point->update) +
+                " bound=" + FormatBound(point->bound) +
+                " work=" + std::to_string(point->work);
+        if (options.include_timing) {
+          *out += " t=" + FormatMs(point->elapsed_ms) + "ms";
+        }
+        *out += "\n";
+      }
+    }
+  }
+}
+
+/// Primal-dual gap line: primal = best incumbent across the trace, dual =
+/// tightest (smallest) final upper bound across its bound timelines.
+void AppendGap(const TraceTimelines& timelines, std::int64_t job_size,
+               std::string* out) {
+  std::int64_t primal = job_size;
+  bool has_dual = false;
+  double dual = 0;
+  for (const auto& [key, timeline] : timelines) {
+    if (!timeline.points.empty()) {
+      primal = std::max(primal, timeline.points.back()->size);
+    }
+    if (!timeline.bound_points.empty()) {
+      const double final_bound = timeline.bound_points.back()->bound;
+      if (!has_dual || final_bound < dual) {
+        has_dual = true;
+        dual = final_bound;
+      }
+    }
+  }
+  if (!has_dual) {
+    *out += "  gap: primal=" + std::to_string(primal) + " dual=(none)\n";
+    return;
+  }
+  const double gap = dual - static_cast<double>(primal);
+  *out += "  gap: primal=" + std::to_string(primal) +
+          " dual=" + FormatBound(dual) + " gap=" + FormatBound(gap) +
+          (gap <= 0 ? " (closed)" : "") + "\n";
+}
+
+/// Per-racer rollup of a portfolio job: best size and improvement count per
+/// racer component of the path.
+void AppendRace(const TraceTimelines& timelines, const JobRecord& job,
+                const ConvergenceOptions& options, std::string* out) {
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> per_racer;
+  for (const auto& [key, timeline] : timelines) {
+    if (timeline.points.empty()) {
+      continue;
+    }
+    const std::string racer = RacerOf(std::get<1>(key));
+    if (racer.empty()) {
+      continue;
+    }
+    auto& [best, improvements] = per_racer[racer];
+    best = std::max(best, timeline.points.back()->size);
+    improvements += static_cast<std::int64_t>(timeline.points.size());
+  }
+  *out += "  race: winner=" + job.backend +
+          " margin=" + std::to_string(job.winner_margin) +
+          " racers=" + std::to_string(job.racers) + "\n";
+  for (const auto& [racer, stats] : per_racer) {
+    *out += "    " + racer + ": best=" + std::to_string(stats.first) +
+            " improvements=" + std::to_string(stats.second) +
+            (racer == job.backend ? "  <- winner" : "") + "\n";
+  }
+  if (!options.include_timing) {
+    return;
+  }
+  // Seq-ordered lead changes: who held the best size as events landed. This
+  // interleaving is real emission order but scheduling-dependent, hence
+  // timing-view only.
+  std::vector<const IncumbentRecord*> ordered;
+  for (const auto& [key, timeline] : timelines) {
+    for (const IncumbentRecord* point : timeline.points) {
+      if (point->seq >= 0 && !RacerOf(point->path).empty()) {
+        ordered.push_back(point);
+      }
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const IncumbentRecord* a, const IncumbentRecord* b) {
+              return a->seq < b->seq;
+            });
+  std::string leader;
+  std::int64_t lead_size = -1;
+  std::string line;
+  for (const IncumbentRecord* point : ordered) {
+    if (point->size > lead_size) {
+      lead_size = point->size;
+      const std::string racer = RacerOf(point->path);
+      if (racer != leader) {
+        leader = racer;
+        line += (line.empty() ? "" : " -> ") + racer + "@" +
+                std::to_string(point->size);
+      }
+    }
+  }
+  if (!line.empty()) {
+    *out += "    lead: " + line + "\n";
+  }
+}
+
+}  // namespace
+
+std::string FormatConvergenceReport(const EventLog& log,
+                                    const ConvergenceOptions& options) {
+  std::map<std::string, TraceTimelines> by_trace = GroupByTrace(log);
+
+  std::string out = "anytime convergence report\n";
+  out += "jobs=" + std::to_string(log.jobs.size()) +
+         " incumbent_events=" + std::to_string(log.incumbents.size()) +
+         " bound_events=" + std::to_string(log.bounds.size()) + "\n";
+
+  // Jobs ordered by (label, trace) like every other analyzer view.
+  std::vector<const JobRecord*> jobs;
+  jobs.reserve(log.jobs.size());
+  for (const JobRecord& job : log.jobs) {
+    jobs.push_back(&job);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              return std::tie(a->label, a->trace) <
+                     std::tie(b->label, b->trace);
+            });
+
+  for (const JobRecord* job : jobs) {
+    out += "\njob label=" + job->label + " trace=" + job->trace +
+           " backend=" + job->backend + " status=" + job->status +
+           " final_size=" + std::to_string(job->size) + "\n";
+    for (const JobStartRecord& start : log.job_starts) {
+      if (start.trace == job->trace) {
+        std::string backends;
+        for (const std::string& backend : start.backends) {
+          backends += (backends.empty() ? "" : "+") + backend;
+        }
+        out += "  instance: n=" + std::to_string(start.n) +
+               " k=" + std::to_string(start.k) + " backends=" + backends +
+               "\n";
+        break;
+      }
+    }
+    const auto it = by_trace.find(job->trace);
+    const bool has_timelines = it != by_trace.end();
+    if (has_timelines) {
+      AppendTimelines(it->second, options, &out);
+      AppendGap(it->second, job->size, &out);
+    } else {
+      out += "  (no incumbent events";
+      out += job->cache_hit ? "; cache hit)\n" : ")\n";
+    }
+    if (job->racers > 1 && has_timelines) {
+      AppendRace(it->second, *job, options, &out);
+    }
+    if (has_timelines) {
+      by_trace.erase(it);
+    }
+  }
+
+  // Timelines whose trace matched no job_end: plain CLI solves (empty trace)
+  // or truncated logs. Still rendered so the report reconstructs from the
+  // JSONL stream alone.
+  bool unattached_header = false;
+  for (const auto& [trace, timelines] : by_trace) {
+    if (!unattached_header) {
+      out += "\nunattached timelines\n";
+      unattached_header = true;
+    }
+    out += trace.empty() ? "(no trace)\n" : "trace " + trace + "\n";
+    AppendTimelines(timelines, options, &out);
+    AppendGap(timelines, 0, &out);
+  }
+  return out;
+}
+
+std::vector<std::string> ValidateIncumbents(const EventLog& log) {
+  std::vector<std::string> violations;
+  const auto describe = [](const TimelineKey& key) {
+    const auto& [trace, path, solver] = key;
+    return solver + " @ " + DisplayPath(path) +
+           (trace.empty() ? "" : " trace=" + trace);
+  };
+  for (const auto& [trace, timelines] : GroupByTrace(log)) {
+    for (const auto& [key, timeline] : timelines) {
+      for (std::size_t i = 1; i < timeline.points.size(); ++i) {
+        const IncumbentRecord& prev = *timeline.points[i - 1];
+        const IncumbentRecord& cur = *timeline.points[i];
+        if (cur.size <= prev.size) {
+          violations.push_back("non-improving incumbent in " + describe(key) +
+                               ": size " + std::to_string(prev.size) +
+                               " -> " + std::to_string(cur.size));
+        }
+        if (cur.work < prev.work) {
+          violations.push_back("work moved backwards in " + describe(key) +
+                               ": " + std::to_string(prev.work) + " -> " +
+                               std::to_string(cur.work));
+        }
+        if (cur.improvement != prev.improvement + 1) {
+          violations.push_back("improvement index gap in " + describe(key) +
+                               ": #" + std::to_string(prev.improvement) +
+                               " -> #" + std::to_string(cur.improvement));
+        }
+      }
+      for (std::size_t i = 1; i < timeline.bound_points.size(); ++i) {
+        const BoundRecord& prev = *timeline.bound_points[i - 1];
+        const BoundRecord& cur = *timeline.bound_points[i];
+        if (cur.bound > prev.bound) {
+          violations.push_back("loosened bound in " + describe(key) + ": " +
+                               FormatBound(prev.bound) + " -> " +
+                               FormatBound(cur.bound));
+        }
+        if (cur.work < prev.work) {
+          violations.push_back("bound work moved backwards in " +
+                               describe(key) + ": " +
+                               std::to_string(prev.work) + " -> " +
+                               std::to_string(cur.work));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace qplex::obs

@@ -1,0 +1,37 @@
+#ifndef QPLEX_OBS_CONVERGENCE_H_
+#define QPLEX_OBS_CONVERGENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+
+namespace qplex::obs {
+
+struct ConvergenceOptions {
+  /// Include wall-clock columns (elapsed_ms, time-to-first/best) and the
+  /// seq-ordered race lead changes. Off by default: the default report is a
+  /// pure function of the deterministic event fields, so two same-seed runs
+  /// (at any worker count) render byte-identically and CI can diff them.
+  bool include_timing = false;
+};
+
+/// Renders the anytime-convergence report from a loaded event log: per-job
+/// incumbent timelines (quality vs deterministic work units), bound
+/// timelines and primal-dual gap closure, and a portfolio race summary
+/// (winner, margin, per-racer best/improvement counts). Timelines are keyed
+/// by (trace, solver, request path) so retry attempts and fallback hops each
+/// get their own monotone curve; ordering is (label, trace) / path /
+/// improvement index throughout.
+std::string FormatConvergenceReport(const EventLog& log,
+                                    const ConvergenceOptions& options = {});
+
+/// Checks every incumbent/bound timeline for the invariants the reporters
+/// guarantee: sizes strictly increase, work and improvement indices never
+/// move backwards, dual bounds never loosen. Returns one human-readable
+/// violation string per breach (empty = clean).
+std::vector<std::string> ValidateIncumbents(const EventLog& log);
+
+}  // namespace qplex::obs
+
+#endif  // QPLEX_OBS_CONVERGENCE_H_

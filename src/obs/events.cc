@@ -8,6 +8,11 @@ namespace {
 
 std::atomic<EventSink*> g_global_sink{nullptr};
 
+/// Process-wide sequence stamp. One counter across every sink instance, so a
+/// merged multi-sink JSONL stream still sorts into the true emission order
+/// even when ts_ms ties at millisecond resolution.
+std::atomic<std::int64_t> g_seq{0};
+
 }  // namespace
 
 std::string_view EventLevelName(EventLevel level) {
@@ -60,6 +65,7 @@ void EventSink::EmitLocked(
     std::string_view trace) {
   JsonValue line = JsonValue::Object();
   line.Set("ts_ms", since_open_.ElapsedMillis());
+  line.Set("seq", g_seq.fetch_add(1, std::memory_order_relaxed));
   line.Set("level", std::string(EventLevelName(level)));
   line.Set("solver", std::string(solver));
   line.Set("event", std::string(event));

@@ -31,8 +31,13 @@ std::string_view EventLevelName(EventLevel level);
 /// as events happen (flushed per line so `tail -f` and crash post-mortems see
 /// every emitted event). Line schema:
 ///
-///   {"ts_ms": <ms since sink open>, "level": "info", "solver": "qmkp",
-///    "event": "probe", ...caller key/values in order...}
+///   {"ts_ms": <ms since sink open>, "seq": <process-wide sequence number>,
+///    "level": "info", "solver": "qmkp", "event": "probe",
+///    ...caller key/values in order...}
+///
+/// "seq" is a process-wide monotonic stamp shared by every sink, so lines
+/// merged across sinks (or jobs) sort deterministically even at equal ts_ms.
+/// Within one process's output it is gap-free; qplex_obs flags duplicates.
 ///
 /// The sink is the live counterpart of RunReport: reports summarise a finished
 /// run, the event stream narrates it while it is still going. Emission is

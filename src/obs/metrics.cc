@@ -35,10 +35,38 @@ void Gauge::Set(double value) {
   AtomicMax(&max_, value);
 }
 
+void Gauge::InstallFirstValue(double value) {
+  // Exactly one writer installs the first value; the rest spin (nanoseconds:
+  // the winner's store is the next instruction) until it is visible. A plain
+  // first-write race would let the default 0 leak into the reduction — a
+  // false minimum for SetMin — so unlike Set() the install must be ordered.
+  if (!init_claimed_.exchange(true, std::memory_order_acq_rel)) {
+    value_.store(value, kRelaxed);
+    max_.store(value, kRelaxed);
+    has_value_.store(true, std::memory_order_release);
+  } else {
+    while (!has_value_.load(std::memory_order_acquire)) {
+    }
+  }
+}
+
+void Gauge::SetMin(double value) {
+  InstallFirstValue(value);
+  AtomicMin(&value_, value);
+  AtomicMax(&max_, value);
+}
+
+void Gauge::SetMax(double value) {
+  InstallFirstValue(value);
+  AtomicMax(&value_, value);
+  AtomicMax(&max_, value);
+}
+
 void Gauge::Reset() {
   value_.store(0, kRelaxed);
   max_.store(0, kRelaxed);
   has_value_.store(false, kRelaxed);
+  init_claimed_.store(false, kRelaxed);
 }
 
 double HistogramSnapshot::Percentile(double p) const {

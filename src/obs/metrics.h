@@ -33,14 +33,26 @@ class Counter {
 class Gauge {
  public:
   void Set(double value);
+  /// Ordered reductions: keep the smallest / largest value ever set. Unlike
+  /// Set(), the final value is independent of writer interleaving, so
+  /// concurrently finishing jobs (portfolio racers, batch workers) can all
+  /// publish their best-energy / best-size result and the gauge stays
+  /// deterministic for the bench gate.
+  void SetMin(double value);
+  void SetMax(double value);
   double Get() const { return value_.load(std::memory_order_relaxed); }
   double Max() const { return max_.load(std::memory_order_relaxed); }
   void Reset();
 
  private:
+  /// Installs `value` as the first observation exactly once (Set/SetMin/SetMax
+  /// must not mix on one gauge within a run — the reduction semantics differ).
+  void InstallFirstValue(double value);
+
   std::atomic<double> value_{0};
   std::atomic<double> max_{0};
   std::atomic<bool> has_value_{false};
+  std::atomic<bool> init_claimed_{false};
 };
 
 /// Immutable view of a histogram taken by Snapshot().

@@ -61,7 +61,9 @@
 #include "grover/qtkp.h"
 #include "milp/milp_solver.h"
 #include "obs/analysis.h"
+#include "obs/convergence.h"
 #include "obs/events.h"
+#include "obs/incumbent.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/openmetrics.h"

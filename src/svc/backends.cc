@@ -10,6 +10,7 @@
 // scheduler's job, not the adapters'.
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@
 #include "grover/qtkp.h"
 #include "milp/milp_solver.h"
 #include "milp/qubo_linearization.h"
+#include "obs/incumbent.h"
 #include "qubo/mkp_qubo.h"
 #include "svc/registry.h"
 
@@ -58,6 +60,17 @@ class BsBackend : public Solver {
     QPLEX_ASSIGN_OR_RETURN(const int use_reduction,
                            OptionInt(request, "use_reduction", 1));
     options.use_reduction = use_reduction != 0;
+    obs::IncumbentReporter reporter(name());
+    if (reporter.enabled()) {
+      options.on_incumbent = [&reporter](const MkpSolution& best,
+                                         const BsSolverStats& stats) {
+        reporter.Report(best.size, stats.branch_nodes);
+      };
+      options.on_bound = [&reporter](double bound,
+                                     const BsSolverStats& stats) {
+        reporter.ReportBound(bound, stats.branch_nodes);
+      };
+    }
     BsSolver solver(options);
     QPLEX_ASSIGN_OR_RETURN(MkpSolution solution,
                            solver.Solve(request.graph, request.k));
@@ -80,6 +93,13 @@ class EnumBackend : public Solver {
     control.time_limit_seconds = context.budget_seconds;
     control.cancel = context.cancel;
     control.completed = &completed;
+    obs::IncumbentReporter reporter(name());
+    if (reporter.enabled()) {
+      control.on_incumbent = [&reporter](const MkpSolution& best,
+                                         std::uint64_t masks_scanned) {
+        reporter.Report(best.size, static_cast<std::int64_t>(masks_scanned));
+      };
+    }
     QPLEX_ASSIGN_OR_RETURN(
         MkpSolution solution,
         SolveMkpByEnumeration(request.graph, request.k, control));
@@ -104,6 +124,13 @@ class GraspBackend : public Solver {
     options.time_limit_seconds = context.budget_seconds;
     options.cancel = context.cancel;
     options.seed = request.seed;
+    obs::IncumbentReporter reporter(name());
+    if (reporter.enabled()) {
+      options.on_incumbent = [&reporter](const MkpSolution& best,
+                                         int iteration) {
+        reporter.Report(best.size, iteration);
+      };
+    }
     GraspSolver solver(options);
     QPLEX_ASSIGN_OR_RETURN(MkpSolution solution,
                            solver.Solve(request.graph, request.k));
@@ -147,11 +174,16 @@ class QtkpBackend : public Solver {
     QPLEX_ASSIGN_OR_RETURN(QtkpOptions options, BuildQtkpOptions(request));
     QPLEX_ASSIGN_OR_RETURN(const int threshold,
                            OptionInt(request, "threshold", request.k));
+    obs::IncumbentReporter reporter(name());
     QPLEX_ASSIGN_OR_RETURN(
         QtkpResult result,
         RunQtkp(request.graph, request.k, threshold, options));
     SolveOutcome outcome;
     if (result.found) {
+      // qTKP is one-shot: a single verified measurement, so its anytime
+      // timeline is the single point at the total oracle-call cost.
+      reporter.Report(static_cast<int>(result.plex.size()),
+                      result.oracle_calls);
       outcome.solution = SolutionFromMembers(result.plex);
     }
     return outcome;
@@ -165,8 +197,19 @@ class QmkpBackend : public Solver {
   Result<SolveOutcome> Solve(const SolveRequest& request,
                              const SolveContext& /*context*/) const override {
     QPLEX_ASSIGN_OR_RETURN(QtkpOptions options, BuildQtkpOptions(request));
-    QPLEX_ASSIGN_OR_RETURN(QmkpResult result,
-                           RunQmkp(request.graph, request.k, options));
+    obs::IncumbentReporter reporter(name());
+    QmkpProgressCallback on_progress;
+    if (reporter.enabled()) {
+      // The reporter drops non-improving probes, so the timeline is exactly
+      // the binary search's verified best-size staircase.
+      on_progress = [&reporter](const QmkpProbe& /*probe*/,
+                                const QmkpResult& so_far) {
+        reporter.Report(so_far.best_size, so_far.total_oracle_calls);
+      };
+    }
+    QPLEX_ASSIGN_OR_RETURN(
+        QmkpResult result,
+        RunQmkp(request.graph, request.k, options, on_progress));
     SolveOutcome outcome;
     outcome.solution = SolutionFromMembers(result.best_plex);
     // The binary search always completes, but its answer carries the bounded
@@ -188,6 +231,22 @@ Result<SolveOutcome> RunQuboBackend(const SolveRequest& request,
   return outcome;
 }
 
+/// Incumbent hook shared by the annealing backends: repair each new-best
+/// QUBO sample to a k-plex and report its size with the sweep count as the
+/// deterministic work unit and the raw energy riding along as `value`. The
+/// reporter filters repairs that do not grow the plex, so energy jitter
+/// never produces a non-monotone timeline.
+AnnealHooks MakeAnnealReporterHooks(obs::IncumbentReporter* reporter,
+                                    const MkpQubo* qubo) {
+  AnnealHooks hooks;
+  hooks.on_new_best = [reporter, qubo](const QuboSample& sample, double energy,
+                                       std::int64_t sweeps) {
+    reporter->Report(static_cast<int>(qubo->RepairToPlex(sample).size()),
+                     sweeps, energy);
+  };
+  return hooks;
+}
+
 class SaBackend : public Solver {
  public:
   std::string_view name() const override { return "sa"; }
@@ -201,7 +260,11 @@ class SaBackend : public Solver {
     options.time_limit_seconds = context.budget_seconds;
     options.cancel = context.cancel;
     options.seed = request.seed;
+    obs::IncumbentReporter reporter(name());
     return RunQuboBackend(request, [&](const MkpQubo& qubo) {
+      if (reporter.enabled()) {
+        options.hooks = MakeAnnealReporterHooks(&reporter, &qubo);
+      }
       return SimulatedAnnealer(options).Run(qubo.model);
     });
   }
@@ -220,7 +283,11 @@ class PtBackend : public Solver {
     options.time_limit_seconds = context.budget_seconds;
     options.cancel = context.cancel;
     options.seed = request.seed;
+    obs::IncumbentReporter reporter(name());
     return RunQuboBackend(request, [&](const MkpQubo& qubo) {
+      if (reporter.enabled()) {
+        options.hooks = MakeAnnealReporterHooks(&reporter, &qubo);
+      }
       return ParallelTempering(options).Run(qubo.model);
     });
   }
@@ -239,7 +306,11 @@ class PiaBackend : public Solver {
     options.time_limit_seconds = context.budget_seconds;
     options.cancel = context.cancel;
     options.seed = request.seed;
+    obs::IncumbentReporter reporter(name());
     return RunQuboBackend(request, [&](const MkpQubo& qubo) {
+      if (reporter.enabled()) {
+        options.hooks = MakeAnnealReporterHooks(&reporter, &qubo);
+      }
       return PathIntegralAnnealer(options).Run(qubo.model);
     });
   }
@@ -257,10 +328,14 @@ class HybridBackend : public Solver {
     options.time_limit_seconds = context.budget_seconds;
     options.cancel = context.cancel;
     options.seed = request.seed;
+    obs::IncumbentReporter reporter(name());
     return RunQuboBackend(request, [&](const MkpQubo& qubo) {
       options.refine = [&qubo](QuboSample* sample) {
         qubo.ImproveSample(sample);
       };
+      if (reporter.enabled()) {
+        options.hooks = MakeAnnealReporterHooks(&reporter, &qubo);
+      }
       return HybridSolver(options).Run(qubo.model);
     });
   }
@@ -285,6 +360,23 @@ class MilpBackend : public Solver {
     options.cancel = context.cancel;
     options.incumbent_heuristic =
         MakeQuboRoundingHeuristic(qubo.model, linearized);
+    obs::IncumbentReporter reporter(name());
+    if (reporter.enabled()) {
+      options.on_incumbent = [&reporter, &qubo, &linearized](
+                                 const std::vector<double>& x,
+                                 double objective, std::int64_t nodes) {
+        const QuboSample sample = ExtractSample(linearized, x);
+        reporter.Report(static_cast<int>(qubo.RepairToPlex(sample).size()),
+                        nodes, objective);
+      };
+      options.on_bound = [&reporter](double bound, std::int64_t nodes) {
+        // The MILP minimizes the QUBO energy and a feasible size-s plex has
+        // energy exactly -s, so a proven lower bound L on the objective is a
+        // plex-size upper bound of -L. B&B lower bounds only tighten upward,
+        // which keeps the reported size bound non-increasing.
+        reporter.ReportBound(std::floor(-bound + 1e-6), nodes);
+      };
+    }
     QPLEX_ASSIGN_OR_RETURN(MilpSolution milp,
                            MilpSolver(options).Solve(linearized.milp));
     if (!milp.feasible) {

@@ -328,6 +328,8 @@ void JobScheduler::Execute(const SubTask& task, int worker) {
          {"attempts", merged_copy.attempts},
          {"degraded_from", merged_copy.degraded_from},
          {"degradation_reason", merged_copy.degradation_reason},
+         {"racers", static_cast<int>(job.backends.size())},
+         {"winner_margin", job.winner_margin},
          {"queue_seconds", merged_copy.metrics.queue_seconds},
          {"wall_seconds", merged_copy.metrics.wall_seconds}});
     // The root span closes the trace: emitted once, by whichever racer
@@ -633,6 +635,17 @@ void JobScheduler::MergeResponses(Job* job) {
     if (rank(job->responses[slot], slot) > rank(job->responses[best], best)) {
       best = slot;
     }
+  }
+  job->winner_margin = 0;
+  if (job->responses.size() > 1) {
+    int best_other = 0;
+    for (int slot = 0; slot < static_cast<int>(job->responses.size());
+         ++slot) {
+      if (slot != best) {
+        best_other = std::max(best_other, job->responses[slot].solution.size);
+      }
+    }
+    job->winner_margin = job->responses[best].solution.size - best_other;
   }
   job->merged = std::move(job->responses[best]);
 }

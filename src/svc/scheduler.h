@@ -148,6 +148,10 @@ class JobScheduler {
     bool consumed = false;
     std::vector<SolveResponse> responses;
     SolveResponse merged;
+    /// Filled by MergeResponses: the winning racer's plex size minus the best
+    /// losing racer's (0 for single-backend jobs). Deterministic because the
+    /// merge rule is; surfaced on the job_end event for race analytics.
+    int winner_margin = 0;
   };
 
   struct SubTask {

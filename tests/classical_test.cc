@@ -148,7 +148,9 @@ TEST(BsSolverTest, BoundsReduceSearchNodes) {
 TEST(BsSolverTest, IncumbentCallbackMonotone) {
   std::vector<int> sizes;
   BsSolverOptions options;
-  options.on_incumbent = [&](const MkpSolution& s) { sizes.push_back(s.size); };
+  options.on_incumbent = [&](const MkpSolution& s, const BsSolverStats&) {
+    sizes.push_back(s.size);
+  };
   BsSolver solver(options);
   (void)solver.Solve(KarateClub(), 2);
   ASSERT_FALSE(sizes.empty());

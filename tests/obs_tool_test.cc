@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #ifndef _WIN32
@@ -112,17 +113,21 @@ TEST(ObsToolTest, ChaosRunAnalyzesCleanAndDeterministic) {
     const std::filesystem::path latency =
         TempDir() / ("latency_" + tag + ".txt");
     const std::filesystem::path slo = TempDir() / ("slo_" + tag + ".txt");
+    const std::filesystem::path convergence =
+        TempDir() / ("convergence_" + tag + ".txt");
     const int exit_code = RunObs(
         "--events " + artifacts.events.string() + " --journal " +
         artifacts.journal.string() + " --check-metrics " +
         artifacts.prom.string() + " --trace-tree " + tree.string() +
         " --folded " + folded.string() + " --latency " + latency.string() +
-        " --slo " + slo.string() + " --slo-ms 60000 --fail-on-orphans");
+        " --slo " + slo.string() + " --slo-ms 60000 --convergence " +
+        convergence.string() + " --fail-on-orphans");
     EXPECT_EQ(exit_code, 0) << tag;
-    return std::make_pair(ReadFile(tree), ReadFile(folded));
+    return std::make_tuple(ReadFile(tree), ReadFile(folded),
+                           ReadFile(convergence));
   };
-  const auto [tree_a, folded_a] = analyze(run_a, "a");
-  const auto [tree_b, folded_b] = analyze(run_b, "b");
+  const auto [tree_a, folded_a, convergence_a] = analyze(run_a, "a");
+  const auto [tree_b, folded_b, convergence_b] = analyze(run_b, "b");
 
   // Every job produced one connected trace rooted at the "job" span, with
   // the chaos visible as attempt/backoff spans.
@@ -132,9 +137,17 @@ TEST(ObsToolTest, ChaosRunAnalyzesCleanAndDeterministic) {
   EXPECT_NE(folded_a.find("job;racer@"), std::string::npos) << folded_a;
   EXPECT_NE(folded_a.find("attempt@"), std::string::npos);
 
+  // The convergence report reconstructs per-job anytime profiles from the
+  // event stream alone, even under fault-injected retries.
+  EXPECT_NE(convergence_a.find("anytime convergence report"),
+            std::string::npos);
+  EXPECT_NE(convergence_a.find("timeline"), std::string::npos)
+      << convergence_a;
+
   // Same seed, one worker, structural span ids: byte-identical outputs.
   EXPECT_EQ(tree_a, tree_b);
   EXPECT_EQ(folded_a, folded_b);
+  EXPECT_EQ(convergence_a, convergence_b);
 }
 
 TEST(ObsToolTest, PromExpositionRoundTripsTheMetricsRegistry) {
@@ -222,12 +235,21 @@ TEST(ObsToolTest, JournalMismatchAndOrphansFailTheRun) {
             1);
 }
 
-TEST(ObsToolTest, UsageAndIoErrorsExitTwo) {
+TEST(ObsToolTest, UsageErrorsExitTwoIoErrorsExitThree) {
+  // Usage mistakes: exit 2.
   EXPECT_EQ(RunObs(""), 2);                              // --events required
-  EXPECT_EQ(RunObs("--events /nonexistent/events.jsonl"), 2);
   EXPECT_EQ(RunObs("--events x --slo out.txt"), 2);      // --slo needs --slo-ms
   EXPECT_EQ(RunObs("--events x --slo-ms junk"), 2);
   EXPECT_EQ(RunObs("--events x --unknown-flag"), 2);
+  // Unreadable inputs: exit 3, distinct from both usage and validation.
+  EXPECT_EQ(RunObs("--events /nonexistent/events.jsonl"), 3);
+  const ChaosArtifacts run = RunChaosServe("io");
+  EXPECT_EQ(RunObs("--events " + run.events.string() +
+                   " --journal /nonexistent/journal.jsonl"),
+            3);
+  EXPECT_EQ(RunObs("--events " + run.events.string() +
+                   " --check-metrics /nonexistent/metrics.prom"),
+            3);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 // bit-identical for any thread count.
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -159,12 +160,34 @@ Result<Graph> LoadGraph(const CliOptions& options) {
 }
 
 Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
+  // Direct CLI solves run outside any request scope, so the incumbent events
+  // carry no trace/path; qplex_obs --convergence lists them as "(direct)".
   if (options.algorithm == "bs") {
-    BsSolver solver;
+    BsSolverOptions bs_options;
+    obs::IncumbentReporter reporter("bs");
+    if (reporter.enabled()) {
+      bs_options.on_incumbent = [&reporter](const MkpSolution& best,
+                                            const BsSolverStats& stats) {
+        reporter.Report(best.size, stats.branch_nodes);
+      };
+      bs_options.on_bound = [&reporter](double bound,
+                                        const BsSolverStats& stats) {
+        reporter.ReportBound(bound, stats.branch_nodes);
+      };
+    }
+    BsSolver solver(bs_options);
     return solver.Solve(graph, options.k);
   }
   if (options.algorithm == "enum") {
-    return SolveMkpByEnumeration(graph, options.k);
+    EnumerationControl control;
+    obs::IncumbentReporter reporter("enum");
+    if (reporter.enabled()) {
+      control.on_incumbent = [&reporter](const MkpSolution& best,
+                                         std::uint64_t masks_scanned) {
+        reporter.Report(best.size, static_cast<std::int64_t>(masks_scanned));
+      };
+    }
+    return SolveMkpByEnumeration(graph, options.k, control);
   }
   if (options.algorithm == "qmkp") {
     QtkpOptions qtkp;
@@ -172,8 +195,16 @@ Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
                                               : OracleBackend::kPredicate;
     qtkp.seed = options.seed;
     qtkp.threads = options.threads;
+    obs::IncumbentReporter reporter("qmkp");
+    QmkpProgressCallback on_progress;
+    if (reporter.enabled()) {
+      on_progress = [&reporter](const QmkpProbe& /*probe*/,
+                                const QmkpResult& so_far) {
+        reporter.Report(so_far.best_size, so_far.total_oracle_calls);
+      };
+    }
     QPLEX_ASSIGN_OR_RETURN(QmkpResult result,
-                           RunQmkp(graph, options.k, qtkp));
+                           RunQmkp(graph, options.k, qtkp, on_progress));
     MkpSolution solution;
     solution.members = result.best_plex;
     solution.size = result.best_size;
@@ -185,6 +216,15 @@ Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
     HybridSolverOptions hybrid;
     hybrid.seed = options.seed;
     hybrid.refine = [&qubo](QuboSample* sample) { qubo.ImproveSample(sample); };
+    obs::IncumbentReporter reporter("hybrid");
+    if (reporter.enabled()) {
+      hybrid.hooks.on_new_best = [&reporter, &qubo](const QuboSample& sample,
+                                                    double energy,
+                                                    std::int64_t sweeps) {
+        reporter.Report(static_cast<int>(qubo.RepairToPlex(sample).size()),
+                        sweeps, energy);
+      };
+    }
     QPLEX_ASSIGN_OR_RETURN(AnnealResult annealed,
                            HybridSolver(hybrid).Run(qubo.model));
     MkpSolution solution;
@@ -199,6 +239,21 @@ Result<MkpSolution> Solve(const CliOptions& options, const Graph& graph) {
     milp_options.time_limit_seconds = 60;
     milp_options.incumbent_heuristic =
         MakeQuboRoundingHeuristic(qubo.model, linearized);
+    obs::IncumbentReporter reporter("milp");
+    if (reporter.enabled()) {
+      milp_options.on_incumbent = [&reporter, &qubo, &linearized](
+                                      const std::vector<double>& x,
+                                      double objective, std::int64_t nodes) {
+        const QuboSample sample = ExtractSample(linearized, x);
+        reporter.Report(static_cast<int>(qubo.RepairToPlex(sample).size()),
+                        nodes, objective);
+      };
+      milp_options.on_bound = [&reporter](double bound, std::int64_t nodes) {
+        // Objective lower bound -> plex-size upper bound (energy of a size-s
+        // plex is -s); see the milp service adapter for the derivation.
+        reporter.ReportBound(std::floor(-bound + 1e-6), nodes);
+      };
+    }
     QPLEX_ASSIGN_OR_RETURN(MilpSolution milp,
                            MilpSolver(milp_options).Solve(linearized.milp));
     if (!milp.feasible) {

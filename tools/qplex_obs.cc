@@ -5,6 +5,7 @@
 //   qplex_obs --events <file> [--journal <file>]
 //             [--trace-tree <file|->] [--folded <file|->]
 //             [--latency <file|->] [--slo <file|-> --slo-ms <float>]
+//             [--convergence <file|->] [--convergence-timing]
 //             [--check-metrics <file>] [--fail-on-orphans]
 //
 //   --trace-tree     reconstructed span tree per job (trace/span/parent ids
@@ -13,6 +14,13 @@
 //                    for flamegraph.pl / speedscope
 //   --latency        per-backend latency percentiles (exact order stats)
 //   --slo            SLO compliance report against --slo-ms
+//   --convergence    anytime-convergence report: per-job incumbent timelines
+//                    (size vs deterministic work), primal-bound gap closure,
+//                    and portfolio race summaries, reconstructed from the
+//                    incumbent/bound/job events alone
+//   --convergence-timing adds wall-clock columns and the seq-ordered race
+//                    lead-change line to --convergence (off by default: the
+//                    default report is byte-stable across reruns)
 //   --check-metrics  validates an OpenMetrics exposition with the in-repo
 //                    checker (TYPE declarations, charset, cumulative
 //                    buckets, # EOF)
@@ -21,10 +29,18 @@
 //   --fail-on-orphans exits 1 when any span's parent is missing from its
 //                    trace (a broken trace-context propagation)
 //
-// Tree and folded outputs carry counts only — no wall-clock — so two
-// same-seed runs produce byte-identical files and CI can diff them.
+// Tree, folded and (default) convergence outputs carry counts only — no
+// wall-clock — so two same-seed runs produce byte-identical files and CI can
+// diff them.
+//
+// Every run also validates the stream itself: incumbent timelines must
+// improve strictly and monotonically, bound timelines must tighten, and seq
+// stamps must not repeat (each EmitLocked line carries a process-wide
+// monotonic "seq"; duplicates mean two sinks clobbered each other).
+//
 // Exit codes: 0 ok, 1 validation failure (orphans/malformed metrics/journal
-// mismatch), 2 usage or IO error.
+// mismatch/incumbent or seq violations), 2 usage error, 3 unreadable or
+// unwritable input/output (missing events file, bad journal path, ...).
 
 #include <fstream>
 #include <iostream>
@@ -47,6 +63,8 @@ struct ObsOptions {
   std::string latency;
   std::string slo;
   double slo_ms = 0;
+  std::string convergence;
+  bool convergence_timing = false;
   std::string check_metrics;
   bool fail_on_orphans = false;
 };
@@ -56,6 +74,8 @@ void PrintUsage() {
                "                 [--trace-tree <file|->] [--folded <file|->]\n"
                "                 [--latency <file|->] "
                "[--slo <file|-> --slo-ms <float>]\n"
+               "                 [--convergence <file|->] "
+               "[--convergence-timing]\n"
                "                 [--check-metrics <file>] "
                "[--fail-on-orphans]\n";
 }
@@ -100,6 +120,10 @@ Result<ObsOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--slo-ms") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.slo_ms, ParseFloat(arg, value));
+    } else if (arg == "--convergence") {
+      QPLEX_ASSIGN_OR_RETURN(options.convergence, next());
+    } else if (arg == "--convergence-timing") {
+      options.convergence_timing = true;
     } else if (arg == "--check-metrics") {
       QPLEX_ASSIGN_OR_RETURN(options.check_metrics, next());
     } else if (arg == "--fail-on-orphans") {
@@ -175,8 +199,11 @@ int Main(int argc, char** argv) {
 
   Result<obs::EventLog> loaded = obs::LoadEventLog(opts.events);
   if (!loaded.ok()) {
-    std::cerr << loaded.status() << "\n";
-    return 2;
+    std::cerr << loaded.status() << "\n"
+              << "qplex_obs: cannot analyze '" << opts.events
+              << "' — pass the --events JSONL produced by a run with "
+                 "QPLEX_EVENTS set (or qplex_serve --events)\n";
+    return 3;
   }
   const obs::EventLog& log = loaded.value();
   const std::vector<obs::TraceSummary> forest = obs::BuildTraceForest(log);
@@ -187,7 +214,7 @@ int Main(int argc, char** argv) {
         WriteOutput(opts.trace_tree, obs::FormatTraceForest(forest));
     if (!written.ok()) {
       std::cerr << written << "\n";
-      return 2;
+      return 3;
     }
   }
   if (!opts.folded.empty()) {
@@ -195,7 +222,7 @@ int Main(int argc, char** argv) {
         WriteOutput(opts.folded, obs::FormatFoldedStacks(forest));
     if (!written.ok()) {
       std::cerr << written << "\n";
-      return 2;
+      return 3;
     }
   }
   if (!opts.latency.empty()) {
@@ -203,7 +230,7 @@ int Main(int argc, char** argv) {
         WriteOutput(opts.latency, obs::FormatLatencyReport(log));
     if (!written.ok()) {
       std::cerr << written << "\n";
-      return 2;
+      return 3;
     }
   }
   if (!opts.slo.empty()) {
@@ -211,16 +238,43 @@ int Main(int argc, char** argv) {
         WriteOutput(opts.slo, obs::FormatSloReport(log, opts.slo_ms));
     if (!written.ok()) {
       std::cerr << written << "\n";
-      return 2;
+      return 3;
+    }
+  }
+  if (!opts.convergence.empty()) {
+    obs::ConvergenceOptions convergence_options;
+    convergence_options.include_timing = opts.convergence_timing;
+    const Status written = WriteOutput(
+        opts.convergence,
+        obs::FormatConvergenceReport(log, convergence_options));
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 3;
     }
   }
 
   int failures = 0;
+  const std::vector<std::string> incumbent_violations =
+      obs::ValidateIncumbents(log);
+  if (!incumbent_violations.empty()) {
+    std::cerr << "incumbent check FAILED: " << incumbent_violations.size()
+              << " violation(s):\n";
+    for (const std::string& violation : incumbent_violations) {
+      std::cerr << "  " << violation << "\n";
+    }
+    ++failures;
+  }
+  if (log.seq_duplicates > 0) {
+    std::cerr << "seq check FAILED: " << log.seq_duplicates
+              << " duplicate seq stamp(s) — two event sinks clobbered each "
+                 "other's lines\n";
+    ++failures;
+  }
   if (!opts.check_metrics.empty()) {
     std::ifstream in(opts.check_metrics);
     if (!in) {
       std::cerr << "cannot open metrics file: " << opts.check_metrics << "\n";
-      return 2;
+      return 3;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
@@ -237,7 +291,7 @@ int Main(int argc, char** argv) {
         JournalMismatches(opts.journal, log);
     if (!missing.ok()) {
       std::cerr << missing.status() << "\n";
-      return 2;
+      return 3;
     }
     if (!missing.value().empty()) {
       std::cerr << "journal check FAILED: " << missing.value().size()
@@ -262,7 +316,10 @@ int Main(int argc, char** argv) {
             << " traces=" << forest.size() << " jobs=" << log.jobs.size()
             << " replayed=" << log.replayed_labels.size()
             << " retries=" << log.retries << " fallbacks=" << log.fallbacks
-            << " orphans=" << orphans << "\n";
+            << " orphans=" << orphans << " incumbents=" << log.incumbents.size()
+            << " bounds=" << log.bounds.size()
+            << " seq_missing=" << log.seq_missing
+            << " seq_gaps=" << log.seq_gaps << "\n";
   return failures > 0 ? 1 : 0;
 }
 

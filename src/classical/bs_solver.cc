@@ -1,10 +1,12 @@
 #include "classical/bs_solver.h"
 
 #include <algorithm>
-#include <bit>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "classical/reduce.h"
-#include "graph/kplex.h"
+#include "graph/bitgraph.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -14,180 +16,200 @@ namespace {
 
 /// Greedy initial lower bound: repeatedly grow a plex from each seed vertex
 /// by adding the highest-degree compatible candidate.
-MkpSolution GreedyKPlex(const Graph& graph,
-                        const std::vector<std::uint64_t>& adjacency, int k) {
+template <typename Engine>
+MkpSolution GreedyKPlex(const Graph& graph, const Engine& engine, int k) {
   const int n = graph.num_vertices();
   MkpSolution best;
+  typename Engine::Set best_set = engine.Empty();
   for (Vertex seed = 0; seed < n; ++seed) {
-    std::uint64_t chosen = std::uint64_t{1} << seed;
+    typename Engine::Set chosen = engine.Empty();
+    Engine::Add(chosen, seed);
+    int size = 1;
     bool grew = true;
     while (grew) {
       grew = false;
-      const int size = std::popcount(chosen);
       Vertex pick = -1;
       int pick_degree = -1;
       for (Vertex v = 0; v < n; ++v) {
-        if ((chosen >> v) & 1) {
+        if (Engine::Test(chosen, v) ||
+            !CanExtendPlex(engine, chosen, size, v, k)) {
           continue;
         }
-        const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
-        // v addable: v has enough neighbours, and no member becomes deficient.
-        if (DegreeInMask(adjacency, v, chosen) < size + 1 - k) {
-          continue;
-        }
-        bool feasible = true;
-        std::uint64_t rest = chosen;
-        while (rest != 0) {
-          const int u = std::countr_zero(rest);
-          rest &= rest - 1;
-          if (DegreeInMask(adjacency, u, with_v) < size + 1 - k) {
-            feasible = false;
-            break;
-          }
-        }
-        if (feasible && graph.Degree(v) > pick_degree) {
+        if (graph.Degree(v) > pick_degree) {
           pick = v;
           pick_degree = graph.Degree(v);
         }
       }
       if (pick >= 0) {
-        chosen |= std::uint64_t{1} << pick;
+        Engine::Add(chosen, pick);
+        ++size;
         grew = true;
       }
     }
-    const int size = std::popcount(chosen);
     if (size > best.size) {
       best.size = size;
-      best.mask = chosen;
+      best_set = chosen;
     }
   }
-  best.members = MaskToBitset(n, best.mask).ToList();
+  best.members = Engine::ToList(best_set);
+  FillSolutionMask(best);
   return best;
+}
+
+template <typename Engine>
+MkpSolution RunGreedy(const Graph& graph, int k) {
+  Engine engine(graph);
+  return GreedyKPlex(graph, engine, k);
+}
+
+/// Translates a search-graph solution back to the caller's vertex ids.
+MkpSolution MapToOriginal(const MkpSolution& solution,
+                          const std::vector<Vertex>* new_to_old) {
+  MkpSolution mapped;
+  mapped.size = solution.size;
+  for (Vertex v : solution.members) {
+    mapped.members.push_back(new_to_old != nullptr ? (*new_to_old)[v] : v);
+  }
+  std::sort(mapped.members.begin(), mapped.members.end());
+  FillSolutionMask(mapped);
+  return mapped;
+}
+
+struct BranchOutcome {
+  MkpSolution best;
+  bool aborted = false;
+};
+
+/// The recursive branch-and-search core, templated over the kernel engine so
+/// the same pruning logic runs single-word on small search graphs and
+/// multi-word beyond 64 vertices.
+template <typename Engine>
+class BranchSearcher {
+ public:
+  using Set = typename Engine::Set;
+
+  BranchSearcher(const Engine& engine, int k, const BsSolverOptions& options,
+                 BsSolverStats& stats, Deadline deadline)
+      : engine_(engine),
+        k_(k),
+        options_(options),
+        stats_(stats),
+        deadline_(deadline) {}
+
+  MkpSolution best;
+  std::function<void(const MkpSolution&, const BsSolverStats&)>
+      report_incumbent;
+
+  bool aborted() const { return aborted_; }
+
+  void Branch(const Set& chosen, const Set& candidates) {
+    if (aborted_) {
+      return;
+    }
+    ++stats_.branch_nodes;
+    if ((stats_.branch_nodes & 0x3FF) == 0) {
+      if (StopRequested(deadline_, options_.cancel)) {
+        aborted_ = true;
+        return;
+      }
+      if (heartbeat_.Due()) {
+        heartbeat_.Emit({{"branch_nodes", stats_.branch_nodes},
+                         {"best_size", best.size},
+                         {"prunes_bound", stats_.prunes_bound},
+                         {"prunes_infeasible", stats_.prunes_infeasible}});
+      }
+    }
+
+    const int size = Engine::Count(chosen);
+    if (size > best.size) {
+      best.size = size;
+      best.members = Engine::ToList(chosen);
+      FillSolutionMask(best);
+      if (report_incumbent) {
+        report_incumbent(best, stats_);
+      }
+    }
+
+    // Filter candidates: v may join only if P + v is still a k-plex, and a v
+    // that fails now can never recover (its deficit only grows as P grows).
+    Set filtered = engine_.Empty();
+    Engine::ForEach(Engine::AndNot(candidates, chosen), [&](Vertex v) {
+      if (CanExtendPlex(engine_, chosen, size, v, k_)) {
+        Engine::Add(filtered, v);
+      } else {
+        ++stats_.prunes_infeasible;
+      }
+    });
+
+    if (Engine::None(filtered)) {
+      return;
+    }
+
+    // Size bound.
+    int upper = size + Engine::Count(filtered);
+    // Degree-support bound: any extension P* satisfies, for every u in P,
+    // |P*| <= deg_P(u) + deg_C(u) + k.
+    if (options_.use_support_bound) {
+      Engine::ForEach(chosen, [&](Vertex u) {
+        upper = std::min(upper, engine_.DegreeIn(u, chosen) +
+                                    engine_.DegreeIn(u, filtered) + k_);
+      });
+    }
+    if (upper <= best.size) {
+      ++stats_.prunes_bound;
+      return;
+    }
+
+    // Branch on the candidate with the highest connectivity into P + C (the
+    // "most constrained first" rule of branch-and-search solvers).
+    Vertex pick = -1;
+    int pick_score = -1;
+    const Set pool = Engine::Or(chosen, filtered);
+    Engine::ForEach(filtered, [&](Vertex v) {
+      const int score = engine_.DegreeIn(v, pool);
+      if (score > pick_score) {
+        pick = v;
+        pick_score = score;
+      }
+    });
+    Set rest = filtered;
+    Engine::Remove(rest, pick);
+    Set with_pick = chosen;
+    Engine::Add(with_pick, pick);
+    Branch(with_pick, rest);
+    Branch(chosen, rest);
+  }
+
+ private:
+  const Engine& engine_;
+  int k_;
+  const BsSolverOptions& options_;
+  BsSolverStats& stats_;
+  Deadline deadline_;
+  bool aborted_ = false;
+  obs::ProgressHeartbeat heartbeat_{"bs"};
+};
+
+template <typename Engine>
+BranchOutcome RunBranchSearch(
+    const Graph& search_graph, int k, int seed_size,
+    const BsSolverOptions& options, BsSolverStats& stats, Deadline deadline,
+    std::function<void(const MkpSolution&, const BsSolverStats&)>
+        report_incumbent) {
+  Engine engine(search_graph);
+  BranchSearcher<Engine> searcher(engine, k, options, stats, deadline);
+  // Seed the bound with the incumbent size (solution members live in
+  // different id spaces, so only the size transfers).
+  searcher.best.size = seed_size;
+  searcher.report_incumbent = std::move(report_incumbent);
+  searcher.Branch(engine.Empty(), engine.Full());
+  return {std::move(searcher.best), searcher.aborted()};
 }
 
 }  // namespace
 
-struct BsSolver::SearchContext {
-  const Graph* graph = nullptr;
-  std::vector<std::uint64_t> adjacency;
-  int n = 0;
-  int k = 0;
-  MkpSolution best;
-  Deadline deadline = Deadline::Infinite();
-  bool aborted = false;
-  const BsSolverOptions* options = nullptr;
-  obs::ProgressHeartbeat heartbeat{"bs"};
-  /// Maps reduced-graph ids back to the caller's ids before invoking the
-  /// user's on_incumbent callback.
-  std::function<void(const MkpSolution&, const BsSolverStats&)>
-      report_incumbent;
-};
-
-void BsSolver::Branch(SearchContext& ctx, std::uint64_t chosen,
-                      std::uint64_t candidates) {
-  if (ctx.aborted) {
-    return;
-  }
-  ++stats_.branch_nodes;
-  if ((stats_.branch_nodes & 0x3FF) == 0) {
-    if (StopRequested(ctx.deadline, ctx.options->cancel)) {
-      ctx.aborted = true;
-      return;
-    }
-    if (ctx.heartbeat.Due()) {
-      ctx.heartbeat.Emit({{"branch_nodes", stats_.branch_nodes},
-                          {"best_size", ctx.best.size},
-                          {"prunes_bound", stats_.prunes_bound},
-                          {"prunes_infeasible", stats_.prunes_infeasible}});
-    }
-  }
-
-  const int size = std::popcount(chosen);
-  if (size > ctx.best.size) {
-    ctx.best.size = size;
-    ctx.best.mask = chosen;
-    ctx.best.members = MaskToBitset(ctx.n, chosen).ToList();
-    if (ctx.report_incumbent) {
-      ctx.report_incumbent(ctx.best, stats_);
-    }
-  }
-
-  // Filter candidates: v may join only if P + v is still a k-plex, and a v
-  // that fails now can never recover (its deficit only grows as P grows).
-  std::uint64_t filtered = 0;
-  std::uint64_t scan = candidates & ~chosen;
-  while (scan != 0) {
-    const int v = std::countr_zero(scan);
-    scan &= scan - 1;
-    if (DegreeInMask(ctx.adjacency, v, chosen) < size + 1 - ctx.k) {
-      ++stats_.prunes_infeasible;
-      continue;
-    }
-    const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
-    bool feasible = true;
-    std::uint64_t members = chosen;
-    while (members != 0) {
-      const int u = std::countr_zero(members);
-      members &= members - 1;
-      if (DegreeInMask(ctx.adjacency, u, with_v) < size + 1 - ctx.k) {
-        feasible = false;
-        break;
-      }
-    }
-    if (feasible) {
-      filtered |= std::uint64_t{1} << v;
-    } else {
-      ++stats_.prunes_infeasible;
-    }
-  }
-
-  if (filtered == 0) {
-    return;
-  }
-
-  // Size bound.
-  int upper = size + std::popcount(filtered);
-  // Degree-support bound: any extension P* satisfies, for every u in P,
-  // |P*| <= deg_P(u) + deg_C(u) + k.
-  if (ctx.options->use_support_bound) {
-    std::uint64_t members = chosen;
-    while (members != 0) {
-      const int u = std::countr_zero(members);
-      members &= members - 1;
-      upper = std::min(upper, DegreeInMask(ctx.adjacency, u, chosen) +
-                                  DegreeInMask(ctx.adjacency, u, filtered) +
-                                  ctx.k);
-    }
-  }
-  if (upper <= ctx.best.size) {
-    ++stats_.prunes_bound;
-    return;
-  }
-
-  // Branch on the candidate with the highest connectivity into P + C (the
-  // "most constrained first" rule of branch-and-search solvers).
-  int pick = -1;
-  int pick_score = -1;
-  std::uint64_t pool = filtered;
-  while (pool != 0) {
-    const int v = std::countr_zero(pool);
-    pool &= pool - 1;
-    const int score = DegreeInMask(ctx.adjacency, v, chosen | filtered);
-    if (score > pick_score) {
-      pick = v;
-      pick_score = score;
-    }
-  }
-  const std::uint64_t pick_bit = std::uint64_t{1} << pick;
-  Branch(ctx, chosen | pick_bit, filtered & ~pick_bit);
-  Branch(ctx, chosen, filtered & ~pick_bit);
-}
-
 Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
   const int n = graph.num_vertices();
-  if (n > 64) {
-    return Status::InvalidArgument("BsSolver requires n <= 64");
-  }
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -200,8 +222,8 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
     return best;
   }
 
-  const auto adjacency = AdjacencyMasks(graph);
-  best = GreedyKPlex(graph, adjacency, k);
+  best = n <= 64 ? RunGreedy<MaskEngine>(graph, k)
+                 : RunGreedy<WideEngine>(graph, k);
   if (options_.on_incumbent && best.size > 0) {
     options_.on_incumbent(best, stats_);
   }
@@ -228,71 +250,49 @@ Result<MkpSolution> BsSolver::Solve(const Graph& graph, int k) {
     }
   }
 
-  SearchContext ctx;
-  ctx.graph = search_graph;
-  ctx.n = search_graph->num_vertices();
-  ctx.k = k;
-  ctx.options = &options_;
-  ctx.deadline = options_.time_limit_seconds > 0
-                     ? Deadline::After(options_.time_limit_seconds)
-                     : Deadline::Infinite();
-  if (ctx.n > 0) {
-    ctx.adjacency = AdjacencyMasks(*search_graph);
-  }
-  // Seed the bound with the incumbent size (solution masks live in different
-  // id spaces, so only the size transfers).
-  ctx.best.size = best.size;
+  const Deadline deadline = options_.time_limit_seconds > 0
+                                ? Deadline::After(options_.time_limit_seconds)
+                                : Deadline::Infinite();
+  const std::vector<Vertex>* new_to_old =
+      options_.use_reduction ? &reduction.new_to_old : nullptr;
+  std::function<void(const MkpSolution&, const BsSolverStats&)> report;
   if (options_.on_incumbent) {
-    ctx.report_incumbent = [&](const MkpSolution& reduced_solution,
-                               const BsSolverStats& stats) {
-      MkpSolution mapped;
-      mapped.size = reduced_solution.size;
-      for (Vertex v : reduced_solution.members) {
-        const Vertex original =
-            options_.use_reduction ? reduction.new_to_old[v] : v;
-        mapped.members.push_back(original);
-        mapped.mask |= std::uint64_t{1} << original;
-      }
-      std::sort(mapped.members.begin(), mapped.members.end());
-      options_.on_incumbent(mapped, stats);
+    report = [this, new_to_old](const MkpSolution& reduced_solution,
+                                const BsSolverStats& stats) {
+      options_.on_incumbent(MapToOriginal(reduced_solution, new_to_old),
+                            stats);
     };
   }
 
-  if (ctx.n > 0) {
+  BranchOutcome outcome;
+  if (search_graph->num_vertices() > 0) {
     obs::TraceSpan branch_span("bs.branch");
-    const std::uint64_t all =
-        ctx.n == 64 ? ~std::uint64_t{0}
-                    : (std::uint64_t{1} << ctx.n) - 1;
-    Branch(ctx, 0, all);
+    outcome = search_graph->num_vertices() <= 64
+                  ? RunBranchSearch<MaskEngine>(*search_graph, k, best.size,
+                                                options_, stats_, deadline,
+                                                std::move(report))
+                  : RunBranchSearch<WideEngine>(*search_graph, k, best.size,
+                                                options_, stats_, deadline,
+                                                std::move(report));
   }
 
   stats_.elapsed_seconds = watch.ElapsedSeconds();
-  stats_.completed = !ctx.aborted;
+  stats_.completed = !outcome.aborted;
 
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("bs.solves").Increment();
   registry.GetCounter("bs.branch_nodes").Add(stats_.branch_nodes);
   registry.GetCounter("bs.prunes_bound").Add(stats_.prunes_bound);
   registry.GetCounter("bs.prunes_infeasible").Add(stats_.prunes_infeasible);
-  if (ctx.aborted) {
+  if (outcome.aborted) {
     registry.GetCounter("bs.deadline_hits").Increment();
   }
 
-  if (ctx.best.size > best.size && !ctx.best.members.empty()) {
-    // Map reduced-graph ids back to original ids.
-    MkpSolution mapped;
-    mapped.size = ctx.best.size;
-    for (Vertex v : ctx.best.members) {
-      const Vertex original =
-          options_.use_reduction ? reduction.new_to_old[v] : v;
-      mapped.members.push_back(original);
-      mapped.mask |= std::uint64_t{1} << original;
-    }
-    std::sort(mapped.members.begin(), mapped.members.end());
-    best = mapped;
+  if (outcome.best.size > best.size && !outcome.best.members.empty()) {
+    best = MapToOriginal(outcome.best, new_to_old);
   }
 
-  if (ctx.aborted) {
+  if (outcome.aborted) {
     // Deadline fired; report the incumbent through stats_ and a soft error.
     return best;
   }

@@ -52,21 +52,22 @@ struct BsSolverOptions {
 /// the k-plex invariant, size and degree-support upper bounds, and
 /// core/truss-style graph reduction — without the paper's full measure-and-
 /// conquer branching rules (those only sharpen the worst-case exponent).
+/// The search runs on the BitGraph kernel engines (graph/bitgraph.h): a
+/// single-word mask engine when the search graph fits in 64 vertices (the
+/// historical fast path, zero-allocation subset ops) and the multi-word
+/// engine for arbitrary n. The engine is picked per search graph, so a large
+/// instance whose reduction survives with <= 64 vertices still branches on
+/// the fast path.
 class BsSolver {
  public:
   explicit BsSolver(BsSolverOptions options = {}) : options_(options) {}
 
-  /// Finds a maximum k-plex of `graph` (n <= 64).
+  /// Finds a maximum k-plex of `graph` (any n).
   Result<MkpSolution> Solve(const Graph& graph, int k);
 
   const BsSolverStats& stats() const { return stats_; }
 
  private:
-  struct SearchContext;
-
-  void Branch(SearchContext& ctx, std::uint64_t chosen,
-              std::uint64_t candidates);
-
   BsSolverOptions options_;
   BsSolverStats stats_;
 };

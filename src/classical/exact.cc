@@ -8,6 +8,16 @@
 
 namespace qplex {
 
+void FillSolutionMask(MkpSolution& solution) {
+  solution.mask = 0;
+  if (solution.members.empty() || solution.members.back() >= 64) {
+    return;
+  }
+  for (Vertex v : solution.members) {
+    solution.mask |= std::uint64_t{1} << v;
+  }
+}
+
 Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
                                           const EnumerationControl& control) {
   const int n = graph.num_vertices();
@@ -59,7 +69,8 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
 }
 
 Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
-                                        int threshold) {
+                                        int threshold,
+                                        const EnumerationControl& control) {
   const int n = graph.num_vertices();
   if (n > 30) {
     return Status::InvalidArgument("enumeration limited to n <= 30");
@@ -67,11 +78,26 @@ Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
+  if (control.completed != nullptr) {
+    *control.completed = true;
+  }
   obs::TraceSpan span("exact.count");
+  const Deadline deadline = control.time_limit_seconds > 0
+                                ? Deadline::After(control.time_limit_seconds)
+                                : Deadline::Infinite();
   const auto adjacency = AdjacencyMasks(graph);
   const std::uint64_t space = std::uint64_t{1} << n;
+  std::uint64_t scanned = space;
   std::int64_t count = 0;
   for (std::uint64_t mask = 0; mask < space; ++mask) {
+    if ((mask & 0xFFF) == 0 && mask != 0 &&
+        StopRequested(deadline, control.cancel)) {
+      if (control.completed != nullptr) {
+        *control.completed = false;
+      }
+      scanned = mask;
+      break;
+    }
     if (std::popcount(mask) >= threshold && IsKPlexMask(adjacency, mask, k)) {
       ++count;
     }
@@ -79,7 +105,7 @@ Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("exact.counts").Increment();
   registry.GetCounter("exact.masks_scanned")
-      .Add(static_cast<std::int64_t>(space));
+      .Add(static_cast<std::int64_t>(scanned));
   return count;
 }
 

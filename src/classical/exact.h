@@ -14,8 +14,13 @@ namespace qplex {
 struct MkpSolution {
   VertexList members;
   int size = 0;
-  std::uint64_t mask = 0;  ///< subset mask (valid when n <= 64)
+  std::uint64_t mask = 0;  ///< subset mask (valid when all members are < 64)
 };
+
+/// Rebuilds `solution.mask` from `solution.members` (sorted ascending). The
+/// mask stays zero when any member id is >= 64 — callers on larger graphs
+/// read `members` instead.
+void FillSolutionMask(MkpSolution& solution);
 
 /// Optional interruption controls for the enumeration scan. The scan polls
 /// every few thousand masks; when interrupted it returns the best subset seen
@@ -37,8 +42,12 @@ Result<MkpSolution> SolveMkpByEnumeration(const Graph& graph, int k,
                                           const EnumerationControl& control = {});
 
 /// Exhaustive count of k-plexes with size >= threshold (the Grover M).
+/// Polls `control` like SolveMkpByEnumeration; when interrupted it returns
+/// the partial count with `*control.completed` set to false
+/// (`control.on_incumbent` does not apply to counting and is ignored).
 Result<std::int64_t> CountKPlexesOfSize(const Graph& graph, int k,
-                                        int threshold);
+                                        int threshold,
+                                        const EnumerationControl& control = {});
 
 }  // namespace qplex
 

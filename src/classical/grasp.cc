@@ -1,12 +1,13 @@
 #include "classical/grasp.h"
 
 #include <algorithm>
-#include <bit>
+#include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
-#include "graph/kplex.h"
+#include "graph/bitgraph.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,30 +16,17 @@ namespace qplex {
 namespace {
 
 /// All vertices that may individually join `chosen` keeping it a k-plex.
-std::vector<Vertex> CompatibleCandidates(
-    const std::vector<std::uint64_t>& adjacency, int n, std::uint64_t chosen,
-    int k) {
-  const int size = std::popcount(chosen);
+template <typename Engine>
+std::vector<Vertex> CompatibleCandidates(const Engine& engine,
+                                         const typename Engine::Set& chosen,
+                                         int k) {
+  const int size = Engine::Count(chosen);
   std::vector<Vertex> candidates;
-  for (Vertex v = 0; v < n; ++v) {
-    if ((chosen >> v) & 1) {
+  for (Vertex v = 0; v < engine.n; ++v) {
+    if (Engine::Test(chosen, v)) {
       continue;
     }
-    if (DegreeInMask(adjacency, v, chosen) < size + 1 - k) {
-      continue;
-    }
-    const std::uint64_t with_v = chosen | (std::uint64_t{1} << v);
-    bool feasible = true;
-    std::uint64_t rest = chosen;
-    while (rest != 0) {
-      const int u = std::countr_zero(rest);
-      rest &= rest - 1;
-      if (DegreeInMask(adjacency, u, with_v) < size + 1 - k) {
-        feasible = false;
-        break;
-      }
-    }
-    if (feasible) {
+    if (CanExtendPlex(engine, chosen, size, v, k)) {
       candidates.push_back(v);
     }
   }
@@ -52,81 +40,129 @@ using StopFn = std::function<bool()>;
 
 /// Randomized greedy construction: repeatedly pick uniformly among the
 /// top-alpha candidates ranked by degree into (chosen | candidates).
-std::uint64_t Construct(const std::vector<std::uint64_t>& adjacency, int n,
-                        int k, double alpha, Rng& rng, const StopFn& stop) {
-  std::uint64_t chosen = std::uint64_t{1}
-                         << rng.UniformInt(static_cast<std::uint64_t>(n));
+template <typename Engine>
+typename Engine::Set Construct(const Engine& engine, int k, double alpha,
+                               Rng& rng, const StopFn& stop) {
+  typename Engine::Set chosen = engine.Empty();
+  Engine::Add(chosen,
+              static_cast<Vertex>(
+                  rng.UniformInt(static_cast<std::uint64_t>(engine.n))));
   for (;;) {
     if (stop()) {
       return chosen;
     }
-    std::vector<Vertex> candidates =
-        CompatibleCandidates(adjacency, n, chosen, k);
+    std::vector<Vertex> candidates = CompatibleCandidates(engine, chosen, k);
     if (candidates.empty()) {
       return chosen;
     }
     std::sort(candidates.begin(), candidates.end(), [&](Vertex a, Vertex b) {
-      return DegreeInMask(adjacency, a, ~std::uint64_t{0}) >
-             DegreeInMask(adjacency, b, ~std::uint64_t{0});
+      return engine.Degree(a) > engine.Degree(b);
     });
     const std::size_t list_size = std::max<std::size_t>(
         1, static_cast<std::size_t>(alpha * candidates.size() + 0.999));
-    chosen |= std::uint64_t{1}
-              << candidates[rng.UniformInt(
-                     static_cast<std::uint64_t>(list_size))];
+    Engine::Add(chosen,
+                candidates[rng.UniformInt(
+                    static_cast<std::uint64_t>(list_size))]);
   }
 }
 
 /// Local search: try dropping each member and greedily refilling; accept the
-/// first strict improvement, repeat until none.
-std::uint64_t LocalSearch(const std::vector<std::uint64_t>& adjacency, int n,
-                          int k, std::uint64_t chosen, Rng& rng,
-                          const StopFn& stop) {
+/// first strict improvement, repeat until none. Refill picks a maximum-degree
+/// candidate, breaking degree ties with one RNG draw per tied refill step so
+/// low-index vertices are not systematically favoured; the RNG is seeded from
+/// GraspOptions::seed, so runs stay deterministic per seed.
+template <typename Engine>
+typename Engine::Set LocalSearch(const Engine& engine, int k,
+                                 typename Engine::Set chosen, Rng& rng,
+                                 const StopFn& stop) {
+  std::vector<Vertex> ties;
   bool improved = true;
   while (improved) {
     improved = false;
-    std::uint64_t members = chosen;
-    while (members != 0) {
+    const VertexList members = Engine::ToList(chosen);
+    for (Vertex drop : members) {
       if (stop()) {
         return chosen;
       }
-      const int drop = std::countr_zero(members);
-      members &= members - 1;
-      std::uint64_t trial = chosen & ~(std::uint64_t{1} << drop);
+      typename Engine::Set trial = chosen;
+      Engine::Remove(trial, drop);
       // Greedy refill (pure greedy: alpha 0 behaviour).
       for (;;) {
         const std::vector<Vertex> candidates =
-            CompatibleCandidates(adjacency, n, trial, k);
+            CompatibleCandidates(engine, trial, k);
         if (candidates.empty()) {
           break;
         }
-        Vertex best = candidates[0];
+        int best_degree = -1;
+        ties.clear();
         for (Vertex v : candidates) {
-          if (DegreeInMask(adjacency, v, ~std::uint64_t{0}) >
-              DegreeInMask(adjacency, best, ~std::uint64_t{0})) {
-            best = v;
+          const int degree = engine.Degree(v);
+          if (degree > best_degree) {
+            best_degree = degree;
+            ties.clear();
+          }
+          if (degree == best_degree) {
+            ties.push_back(v);
           }
         }
-        trial |= std::uint64_t{1} << best;
+        const Vertex refill =
+            ties.size() == 1
+                ? ties.front()
+                : ties[rng.UniformInt(static_cast<std::uint64_t>(ties.size()))];
+        Engine::Add(trial, refill);
       }
-      if (std::popcount(trial) > std::popcount(chosen)) {
-        chosen = trial;
+      if (Engine::Count(trial) > Engine::Count(chosen)) {
+        chosen = std::move(trial);
         improved = true;
         break;
       }
     }
   }
-  (void)rng;
   return chosen;
+}
+
+template <typename Engine>
+MkpSolution RunGrasp(const Graph& graph, int k, const GraspOptions& options,
+                     GraspStats& stats) {
+  Engine engine(graph);
+  Rng rng(options.seed);
+  const Deadline deadline = options.time_limit_seconds > 0
+                                ? Deadline::After(options.time_limit_seconds)
+                                : Deadline::Infinite();
+  const StopFn stop = [&options, &deadline] {
+    return StopRequested(deadline, options.cancel);
+  };
+  MkpSolution best;
+  typename Engine::Set best_set = engine.Empty();
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    if (stop()) {
+      stats.completed = false;
+      break;
+    }
+    typename Engine::Set plex = Construct(engine, k, options.alpha, rng, stop);
+    plex = LocalSearch(engine, k, std::move(plex), rng, stop);
+    const int size = Engine::Count(plex);
+    if (size > best.size) {
+      best.size = size;
+      best_set = std::move(plex);
+      ++stats.improvements;
+      if (options.on_incumbent) {
+        best.members = Engine::ToList(best_set);
+        FillSolutionMask(best);
+        options.on_incumbent(best, iteration + 1);
+      }
+    }
+    ++stats.iterations_run;
+  }
+  best.members = Engine::ToList(best_set);
+  FillSolutionMask(best);
+  return best;
 }
 
 }  // namespace
 
 Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
   const int n = graph.num_vertices();
-  if (n > 64) {
-    return Status::InvalidArgument("GraspSolver requires n <= 64");
-  }
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -139,33 +175,8 @@ Result<MkpSolution> GraspSolver::Solve(const Graph& graph, int k) {
     return best;
   }
   obs::TraceSpan span("grasp.solve");
-  const auto adjacency = AdjacencyMasks(graph);
-  Rng rng(options_.seed);
-  const Deadline deadline = options_.time_limit_seconds > 0
-                                ? Deadline::After(options_.time_limit_seconds)
-                                : Deadline::Infinite();
-  const StopFn stop = [this, &deadline] {
-    return StopRequested(deadline, options_.cancel);
-  };
-  for (int iteration = 0; iteration < options_.iterations; ++iteration) {
-    if (stop()) {
-      stats_.completed = false;
-      break;
-    }
-    std::uint64_t plex = Construct(adjacency, n, k, options_.alpha, rng, stop);
-    plex = LocalSearch(adjacency, n, k, plex, rng, stop);
-    if (std::popcount(plex) > best.size) {
-      best.size = std::popcount(plex);
-      best.mask = plex;
-      ++stats_.improvements;
-      if (options_.on_incumbent) {
-        best.members = MaskToBitset(n, best.mask).ToList();
-        options_.on_incumbent(best, iteration + 1);
-      }
-    }
-    ++stats_.iterations_run;
-  }
-  best.members = MaskToBitset(n, best.mask).ToList();
+  best = n <= 64 ? RunGrasp<MaskEngine>(graph, k, options_, stats_)
+                 : RunGrasp<WideEngine>(graph, k, options_, stats_);
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("grasp.solves").Increment();
   registry.GetCounter("grasp.iterations").Add(stats_.iterations_run);

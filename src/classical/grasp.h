@@ -16,7 +16,11 @@ namespace qplex {
 /// iteration builds a plex with a randomized greedy construction (choose
 /// uniformly among the top-alpha fraction of compatible candidates by
 /// degree), then improves it with swap-based local search (drop one member,
-/// greedily refill). Returns the best plex over all iterations.
+/// greedily refill, breaking degree ties in the refill with the run's RNG so
+/// low-index vertices are not systematically favoured). Returns the best
+/// plex over all iterations; runs are deterministic per seed. Solves run on
+/// the BitGraph kernel engines (graph/bitgraph.h): single-word masks for
+/// n <= 64, multi-word rows beyond.
 struct GraspOptions {
   int iterations = 64;
   /// Candidate-list greediness: 0 = pure greedy, 1 = uniform random.
@@ -45,7 +49,7 @@ class GraspSolver {
  public:
   explicit GraspSolver(GraspOptions options = {}) : options_(options) {}
 
-  /// Finds a (maximal, not necessarily maximum) k-plex of `graph` (n <= 64).
+  /// Finds a (maximal, not necessarily maximum) k-plex of `graph` (any n).
   Result<MkpSolution> Solve(const Graph& graph, int k);
 
   const GraspStats& stats() const { return stats_; }

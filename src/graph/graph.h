@@ -1,8 +1,11 @@
 #ifndef QPLEX_GRAPH_GRAPH_H_
 #define QPLEX_GRAPH_GRAPH_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +43,48 @@ class VertexBitset {
   bool None() const;
 
   void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+  /// Sets every bit in [0, size).
+  void SetAll();
+  /// Complements the set within [0, size): bit i becomes !bit i.
+  void FlipAll();
+
+  /// In-place set algebra against a same-size set.
+  void OrWith(const VertexBitset& other);
+  void AndWith(const VertexBitset& other);
+  void AndNotWith(const VertexBitset& other);
+
+  /// Backing word array (little-endian bit order, (size + 63) / 64 words;
+  /// bits at positions >= size are always zero).
+  const std::uint64_t* words() const { return words_.data(); }
+  int num_words() const { return static_cast<int>(words_.size()); }
+
+  /// Calls `fn(Vertex)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        fn(static_cast<Vertex>(w * 64 + std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Like ForEachBit but `fn` returns false to stop early; returns true when
+  /// every set bit was visited without an early stop.
+  template <typename Fn>
+  bool ForEachBitWhile(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        if (!fn(static_cast<Vertex>(w * 64 + std::countr_zero(word)))) {
+          return false;
+        }
+        word &= word - 1;
+      }
+    }
+    return true;
+  }
 
   /// Sorted list of set vertices.
   VertexList ToList() const;
@@ -53,6 +98,9 @@ class VertexBitset {
 
  private:
   static std::uint64_t Bit(Vertex v) { return std::uint64_t{1} << (v & 63); }
+
+  /// Zeroes the bits at positions >= num_bits_ in the last word.
+  void ClearTail();
 
   int num_bits_ = 0;
   std::vector<std::uint64_t> words_;
@@ -73,6 +121,15 @@ class Graph {
 
   /// Adds the undirected edge {u, v}. Self-loops and duplicates are ignored.
   void AddEdge(Vertex u, Vertex v);
+
+  /// Bulk edge ingestion: adds every edge of `edges` (self-loops and
+  /// duplicates ignored), appending to the neighbour lists and sorting each
+  /// touched list once at the end. O(m + Σ d log d) total, versus the
+  /// O(Σ d²) worst case of per-edge sorted inserts through AddEdge — the
+  /// difference between linear and quadratic time when a vertex's whole
+  /// neighbourhood arrives in one batch (MakeGraph, Complement,
+  /// InducedSubgraph, reductions).
+  void AddEdges(const std::vector<std::pair<Vertex, Vertex>>& edges);
 
   bool HasEdge(Vertex u, Vertex v) const {
     return adjacency_[u].Test(v);

@@ -99,7 +99,9 @@ void MkpQubo::ImproveSample(QuboSample* sample) const {
     members.Set(v);
   }
   // Greedy extension: repeatedly add any vertex that keeps the set a k-plex
-  // (highest-degree candidates first, mirroring the BS greedy bound).
+  // (highest-degree candidates first, mirroring the BS greedy bound). The
+  // member check uses deg_{P+v}(u) = deg_P(u) + [u ~ v], so no temporary
+  // subset is built per candidate.
   bool grew = true;
   while (grew) {
     grew = false;
@@ -113,15 +115,10 @@ void MkpQubo::ImproveSample(QuboSample* sample) const {
       if (graph.DegreeIn(v, members) < size + 1 - k) {
         continue;
       }
-      VertexBitset with_v = members;
-      with_v.Set(v);
-      bool feasible = true;
-      for (Vertex u : with_v.ToList()) {
-        if (graph.DegreeIn(u, with_v) < size + 1 - k) {
-          feasible = false;
-          break;
-        }
-      }
+      const bool feasible = members.ForEachBitWhile([&](Vertex u) {
+        return graph.DegreeIn(u, members) + (graph.HasEdge(u, v) ? 1 : 0) >=
+               size + 1 - k;
+      });
       if (feasible && graph.Degree(v) > pick_degree) {
         pick = v;
         pick_degree = graph.Degree(v);

@@ -39,12 +39,8 @@ MkpSolution SolutionFromMembers(VertexList members) {
   MkpSolution solution;
   std::sort(members.begin(), members.end());
   solution.size = static_cast<int>(members.size());
-  if (!members.empty() && members.back() < 64) {
-    for (Vertex v : members) {
-      solution.mask |= std::uint64_t{1} << v;
-    }
-  }
   solution.members = std::move(members);
+  FillSolutionMask(solution);
   return solution;
 }
 

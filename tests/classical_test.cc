@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "classical/bs_solver.h"
@@ -268,6 +269,100 @@ TEST(GraspTest, TimeLimitStopsIterationsEarly) {
   EXPECT_FALSE(solver.stats().completed);
   EXPECT_LT(solver.stats().iterations_run, options.iterations);
   EXPECT_TRUE(IsKPlexMask(AdjacencyMasks(graph), solution.mask, 2));
+}
+
+TEST(GraspTest, SameSeedSameResult) {
+  // The local-search RNG tie-break must stay deterministic per seed.
+  const Graph graph = RandomGnm(40, 200, 17).value();
+  GraspOptions options;
+  options.iterations = 32;
+  options.seed = 99;
+  GraspSolver first(options);
+  GraspSolver second(options);
+  const MkpSolution a = first.Solve(graph, 2).value();
+  const MkpSolution b = second.Solve(graph, 2).value();
+  EXPECT_EQ(a.size, b.size);
+  EXPECT_EQ(a.members, b.members);
+}
+
+// -- beyond 64 vertices (the multi-word kernel engine) ------------------------
+
+TEST(BsSolverTest, SolvesBeyond64Vertices) {
+  // Previously an InvalidArgument cliff; with the BitGraph engine BS must
+  // recover at least the planted plex, and every answer must verify against
+  // the bitset ground-truth predicate.
+  const int n = 90;
+  const int planted = 10;
+  const int k = 2;
+  const Graph graph = PlantedKPlex(n, planted, k, 0.05, 123).value();
+  BsSolver solver;
+  const MkpSolution solution = solver.Solve(graph, k).value();
+  EXPECT_TRUE(solver.stats().completed);
+  EXPECT_GE(solution.size, planted);
+  EXPECT_EQ(static_cast<int>(solution.members.size()), solution.size);
+  EXPECT_TRUE(IsKPlex(
+      graph, VertexBitset::FromList(n, solution.members), k));
+}
+
+TEST(BsSolverTest, MatchesEnumerationAcrossWordBoundaryEmbedding) {
+  // Embed a small instance in a 70-vertex graph (the extra vertices are
+  // isolated): the optimum over the embedded component must be found by the
+  // wide engine exactly as the mask engine finds it on the small graph.
+  const Graph small = RandomGnm(12, 34, 9).value();
+  Graph wide(70);
+  for (const auto& [u, v] : small.Edges()) {
+    wide.AddEdge(u, v);
+  }
+  for (int k = 1; k <= 2; ++k) {
+    BsSolver small_solver;
+    BsSolver wide_solver;
+    const MkpSolution small_best = small_solver.Solve(small, k).value();
+    const MkpSolution wide_best = wide_solver.Solve(wide, k).value();
+    // Isolated vertices form a k-plex of size k by themselves; beyond that
+    // the embedded component dominates.
+    EXPECT_EQ(wide_best.size, std::max(small_best.size, k));
+    EXPECT_TRUE(IsKPlex(
+        wide, VertexBitset::FromList(70, wide_best.members), k));
+  }
+}
+
+TEST(GraspTest, SolvesBeyond64Vertices) {
+  const int n = 80;
+  const int planted = 9;
+  const int k = 2;
+  const Graph graph = PlantedKPlex(n, planted, k, 0.05, 7).value();
+  GraspOptions options;
+  options.iterations = 64;
+  GraspSolver solver(options);
+  const MkpSolution solution = solver.Solve(graph, k).value();
+  EXPECT_GE(solution.size, 3);
+  EXPECT_EQ(static_cast<int>(solution.members.size()), solution.size);
+  EXPECT_TRUE(IsKPlex(
+      graph, VertexBitset::FromList(n, solution.members), k));
+}
+
+TEST(EnumerationTest, CountKPlexesStopsOnCancellation) {
+  const Graph graph = RandomGnm(22, 80, 2).value();
+  CancelToken cancel;
+  cancel.Cancel();
+  EnumerationControl control;
+  control.cancel = &cancel;
+  bool completed = true;
+  control.completed = &completed;
+  const std::int64_t partial =
+      CountKPlexesOfSize(graph, 2, 1, control).value();
+  EXPECT_FALSE(completed);
+  // The poll fires within the first 0x1000 masks, so only a sliver of the
+  // 2^22 space is counted.
+  EXPECT_LE(partial, 0x1000);
+}
+
+TEST(EnumerationTest, CountKPlexesControlDefaultsComplete) {
+  EnumerationControl control;
+  bool completed = false;
+  control.completed = &completed;
+  EXPECT_EQ(CountKPlexesOfSize(PaperExampleGraph(), 2, 4, control).value(), 1);
+  EXPECT_TRUE(completed);
 }
 
 }  // namespace

@@ -389,5 +389,62 @@ TEST(IoTest, LoadMissingFileFails) {
             StatusCode::kNotFound);
 }
 
+TEST(VertexBitsetTest, WordOpsAndTailMasking) {
+  VertexBitset set(70);
+  set.SetAll();
+  EXPECT_EQ(set.Count(), 70);
+  set.FlipAll();
+  EXPECT_TRUE(set.None());  // the tail bits beyond 70 stay clear
+  set.Set(3);
+  set.Set(68);
+  VertexBitset other(70);
+  other.Set(3);
+  other.Set(65);
+  VertexBitset or_result = set;
+  or_result.OrWith(other);
+  EXPECT_EQ(or_result.ToList(), (VertexList{3, 65, 68}));
+  VertexBitset and_result = set;
+  and_result.AndWith(other);
+  EXPECT_EQ(and_result.ToList(), (VertexList{3}));
+  VertexBitset andnot_result = set;
+  andnot_result.AndNotWith(other);
+  EXPECT_EQ(andnot_result.ToList(), (VertexList{68}));
+}
+
+TEST(GraphTest, AddEdgesMatchesAddEdge) {
+  const Graph reference = RandomGnm(50, 300, 42).value();
+  std::vector<std::pair<Vertex, Vertex>> edges = reference.Edges();
+  // Scramble, duplicate, and add self-loops: the bulk path must dedup and
+  // skip exactly like repeated AddEdge calls.
+  std::reverse(edges.begin(), edges.end());
+  edges.push_back(edges.front());
+  edges.emplace_back(7, 7);
+  Graph bulk(50);
+  bulk.AddEdges(edges);
+  EXPECT_EQ(bulk.num_edges(), reference.num_edges());
+  for (Vertex v = 0; v < 50; ++v) {
+    EXPECT_EQ(bulk.Neighbors(v), reference.Neighbors(v));
+    EXPECT_EQ(bulk.NeighborBits(v), reference.NeighborBits(v));
+  }
+}
+
+TEST(GraphTest, ComplementWordParallelMatchesDefinition) {
+  for (const int n : {5, 64, 67}) {
+    const Graph graph = RandomGnp(n, 0.4, 100 + n).value();
+    const Graph complement = graph.Complement();
+    int expected_edges = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        EXPECT_EQ(complement.HasEdge(u, v), !graph.HasEdge(u, v));
+        expected_edges += graph.HasEdge(u, v) ? 0 : 1;
+      }
+      // Neighbour lists must stay sorted and consistent with the bitsets.
+      EXPECT_EQ(complement.NeighborBits(u).ToList(), complement.Neighbors(u));
+      EXPECT_EQ(complement.Degree(u), n - 1 - graph.Degree(u));
+    }
+    EXPECT_EQ(complement.num_edges(), expected_edges);
+  }
+}
+
 }  // namespace
 }  // namespace qplex

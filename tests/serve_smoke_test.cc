@@ -24,6 +24,9 @@
 #include <unistd.h>
 #endif
 
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/kplex.h"
 #include "obs/json.h"
 
 namespace qplex {
@@ -223,6 +226,56 @@ TEST(ServeSmokeTest, MixedBatchIsDeterministicAcrossRunsAndWorkerCounts) {
     cache_hits += serial.jobs.at(label).cache_hit ? 1 : 0;
   }
   EXPECT_GE(cache_hits, 1);
+}
+
+TEST(ServeSmokeTest, SolvesBeyond64VerticesThroughClassicalBackends) {
+  // Previously BS and GRASP rejected n > 64 with InvalidArgument; the
+  // BitGraph kernel engine must carry a 90-vertex planted-plex instance
+  // through the full serve pipeline, and the streamed members must verify
+  // as a real 2-plex of the instance.
+  const int n = 90;
+  const int planted = 10;
+  const int k = 2;
+  const Graph graph = PlantedKPlex(n, planted, k, 0.05, 123).value();
+  std::ostringstream graph_json;
+  graph_json << "{\"n\":" << n << ",\"edges\":[";
+  bool first = true;
+  for (const auto& [u, v] : graph.Edges()) {
+    graph_json << (first ? "" : ",") << "[" << u << "," << v << "]";
+    first = false;
+  }
+  graph_json << "]}";
+
+  const std::filesystem::path jobs = TempDir() / "wide_batch.jsonl";
+  {
+    std::ofstream out(jobs);
+    out << R"({"id":"wide-bs","k":2,"backend":"bs","graph":)"
+        << graph_json.str() << "}\n"
+        << R"({"id":"wide-grasp","k":2,"backend":"grasp","seed":5,"graph":)"
+        << graph_json.str() << "}\n";
+  }
+  const std::filesystem::path events = TempDir() / "events_wide.jsonl";
+  const int exit_code =
+      RunServe("--jobs " + jobs.string() + " --events " + events.string());
+  EXPECT_EQ(exit_code, 0);
+  const BatchRun run = ParseEvents(events);
+  EXPECT_EQ(run.batch_jobs, 2);
+  EXPECT_EQ(run.batch_failed, 0);
+  for (const char* label : {"wide-bs", "wide-grasp"}) {
+    ASSERT_TRUE(run.jobs.count(label)) << label;
+    const JobEnd& job = run.jobs.at(label);
+    EXPECT_EQ(job.status, "OK") << label;
+    VertexList members;
+    std::istringstream member_stream(job.members);
+    for (Vertex v = 0; member_stream >> v;) {
+      members.push_back(v);
+    }
+    EXPECT_EQ(static_cast<int>(members.size()), job.size) << label;
+    EXPECT_TRUE(IsKPlex(graph, VertexBitset::FromList(n, members), k))
+        << label;
+  }
+  // BS is exact: it must recover at least the planted plex.
+  EXPECT_GE(run.jobs.at("wide-bs").size, planted);
 }
 
 TEST(ServeSmokeTest, CacheOffForcesEveryJobToExecute) {

@@ -1,0 +1,100 @@
+#ifndef QPLEX_NET_FRAME_H_
+#define QPLEX_NET_FRAME_H_
+
+/// \file
+/// Newline-delimited framing for the JSONL wire protocol. FrameSplitter
+/// turns an arbitrary byte stream (partial lines, many lines per read) back
+/// into complete request lines; WriteBuffer coalesces many small response
+/// lines into few large writev() flushes. Both are pure byte machines with
+/// no socket dependency, so the unit tests drive them without any I/O.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/io.h"
+
+namespace qplex::net {
+
+/// Reassembles newline-delimited frames from a byte stream. Feed() appends
+/// whatever one read() produced; Next() yields complete lines in order. A
+/// line longer than `max_line_bytes` poisons the stream (kResourceExhausted):
+/// the splitter cannot resynchronise inside an unbounded line, so the owning
+/// connection must be closed. CR before LF is stripped, so both "\n" and
+/// "\r\n" clients work.
+class FrameSplitter {
+ public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;  // 1 MiB
+
+  explicit FrameSplitter(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes. Returns kResourceExhausted once the unterminated
+  /// tail exceeds the line limit; the splitter stays poisoned afterwards.
+  Status Feed(std::string_view bytes);
+
+  /// Pops the next complete line (newline stripped) into `*line`. Returns
+  /// false when no complete line is buffered.
+  bool Next(std::string* line);
+
+  /// Bytes buffered in the unterminated tail (diagnostic; a half-received
+  /// line at connection teardown means the client hung up mid-request).
+  std::size_t pending_bytes() const { return tail_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::deque<std::string> lines_;
+  std::string tail_;
+  bool poisoned_ = false;
+};
+
+/// Outbound byte queue with coalescing flushes. Append() enqueues complete
+/// response lines; Flush() hands the kernel as much as it will take in one
+/// writev() of up to kMaxIov chunks, resuming cleanly after partial writes.
+/// Small responses therefore aggregate toward ~MTU-sized segments instead of
+/// one syscall (and one tinygram) per response — the buffered-send
+/// aggregation idiom from Galois' network layer.
+class WriteBuffer {
+ public:
+  /// Aggregation target: Flush() is worth calling once this many bytes are
+  /// queued (callers may flush earlier, e.g. when the event loop goes idle).
+  /// ~one Ethernet MTU of payload.
+  static constexpr std::size_t kFlushThresholdBytes = 1400;
+  /// Chunks per writev call; deliberately below any platform IOV_MAX.
+  static constexpr int kMaxIov = 64;
+
+  /// Enqueues one already-framed line (caller includes the trailing '\n').
+  void Append(std::string line);
+
+  /// True when enough is buffered that a flush would fill a segment.
+  bool FlushDue() const { return queued_bytes_ >= kFlushThresholdBytes; }
+
+  bool empty() const { return chunks_.empty(); }
+  std::size_t queued_bytes() const { return queued_bytes_; }
+
+  /// Writes as much as possible to `fd`. Partial writes advance an offset
+  /// into the front chunk so no byte is ever re-sent. Returns the IoState of
+  /// the last attempt: kOk (everything flushed or the fd stopped accepting
+  /// exactly at a chunk boundary), kWouldBlock (retry on POLLOUT), kClosed,
+  /// or kError.
+  IoState FlushTo(int fd);
+
+  /// Total bytes ever handed to the kernel and writev calls made (for the
+  /// net.bytes.out / net.writes.coalesced metrics).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t flush_calls() const { return flush_calls_; }
+
+ private:
+  std::deque<std::string> chunks_;
+  std::size_t front_offset_ = 0;  ///< already-written bytes of chunks_.front()
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t flush_calls_ = 0;
+};
+
+}  // namespace qplex::net
+
+#endif  // QPLEX_NET_FRAME_H_

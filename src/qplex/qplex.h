@@ -27,6 +27,9 @@
 ///   svc/       solver service layer: unified backend registry, bounded job
 ///              scheduler with portfolio racing, retry/fallback resilience,
 ///              instance result cache
+///   net/       poll-based TCP/JSONL serving: EINTR-safe socket wrappers,
+///              newline framing, coalescing write buffers, the
+///              single-threaded multiplexed server event loop
 
 #include "anneal/hybrid_solver.h"
 #include "anneal/parallel_tempering.h"
@@ -85,9 +88,13 @@
 #include "relax/club_oracle.h"
 #include "resilience/fault_injection.h"
 #include "resilience/retry.h"
+#include "net/frame.h"
+#include "net/io.h"
+#include "net/server.h"
 #include "svc/cache.h"
 #include "svc/graph_hash.h"
 #include "svc/registry.h"
+#include "svc/request.h"
 #include "svc/scheduler.h"
 #include "svc/solver.h"
 #include "workload/datasets.h"

@@ -1,0 +1,162 @@
+#include "svc/request.h"
+
+#include <sstream>
+#include <utility>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "obs/json.h"
+
+namespace qplex::svc {
+namespace {
+
+Result<Graph> ParseInlineGraph(const obs::JsonValue& spec, int line_number) {
+  const obs::JsonValue* n = spec.Find("n");
+  if (n == nullptr || !n->is_int()) {
+    return Status::InvalidArgument("graph.n missing at line " +
+                                   std::to_string(line_number));
+  }
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  if (const obs::JsonValue* list = spec.Find("edges"); list != nullptr) {
+    if (!list->is_array()) {
+      return Status::InvalidArgument("graph.edges must be an array at line " +
+                                     std::to_string(line_number));
+    }
+    for (std::size_t i = 0; i < list->size(); ++i) {
+      const obs::JsonValue& edge = list->at(i);
+      if (!edge.is_array() || edge.size() != 2 || !edge.at(0).is_int() ||
+          !edge.at(1).is_int()) {
+        return Status::InvalidArgument(
+            "graph.edges[" + std::to_string(i) +
+            "] must be [u, v] at line " + std::to_string(line_number));
+      }
+      edges.emplace_back(static_cast<Vertex>(edge.at(0).AsInt()),
+                         static_cast<Vertex>(edge.at(1).AsInt()));
+    }
+  }
+  return MakeGraph(static_cast<int>(n->AsInt()), edges);
+}
+
+Result<Graph> LoadRequestGraph(const obs::JsonValue& line, int line_number) {
+  if (const obs::JsonValue* inline_graph = line.Find("graph");
+      inline_graph != nullptr) {
+    return ParseInlineGraph(*inline_graph, line_number);
+  }
+  const obs::JsonValue* input = line.Find("input");
+  if (input == nullptr || !input->is_string()) {
+    return Status::InvalidArgument(
+        "request needs \"graph\" or \"input\" at line " +
+        std::to_string(line_number));
+  }
+  std::string format = "dimacs";
+  if (const obs::JsonValue* f = line.Find("format"); f != nullptr) {
+    if (!f->is_string()) {
+      return Status::InvalidArgument("format must be a string at line " +
+                                     std::to_string(line_number));
+    }
+    format = f->AsString();
+  }
+  if (format == "dimacs") {
+    return LoadDimacsFile(input->AsString());
+  }
+  if (format == "edgelist") {
+    return LoadEdgeListFile(input->AsString());
+  }
+  return Status::InvalidArgument("unknown format '" + format + "' at line " +
+                                 std::to_string(line_number));
+}
+
+}  // namespace
+
+Result<RequestSpec> ParseRequestLine(const std::string& text,
+                                     int line_number) {
+  QPLEX_ASSIGN_OR_RETURN(obs::JsonValue line, obs::JsonValue::Parse(text));
+  if (!line.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object at line " +
+                                   std::to_string(line_number));
+  }
+  RequestSpec spec;
+  QPLEX_ASSIGN_OR_RETURN(spec.request.graph,
+                         LoadRequestGraph(line, line_number));
+  spec.request.label = "line-" + std::to_string(line_number);
+  if (const obs::JsonValue* id = line.Find("id"); id != nullptr) {
+    spec.request.label =
+        id->is_string() ? id->AsString() : std::to_string(id->AsInt());
+  }
+  if (const obs::JsonValue* k = line.Find("k"); k != nullptr) {
+    spec.request.k = static_cast<int>(k->AsInt());
+  }
+  if (const obs::JsonValue* seed = line.Find("seed"); seed != nullptr) {
+    spec.request.seed = static_cast<std::uint64_t>(seed->AsInt());
+  }
+  if (const obs::JsonValue* deadline = line.Find("deadline_ms");
+      deadline != nullptr) {
+    spec.request.deadline_seconds = deadline->AsDouble() / 1e3;
+  }
+  if (const obs::JsonValue* backend = line.Find("backend");
+      backend != nullptr) {
+    spec.request.backend = backend->AsString();
+  }
+  if (const obs::JsonValue* backends = line.Find("backends");
+      backends != nullptr) {
+    if (!backends->is_array() || backends->size() == 0) {
+      return Status::InvalidArgument(
+          "backends must be a non-empty array at line " +
+          std::to_string(line_number));
+    }
+    for (std::size_t i = 0; i < backends->size(); ++i) {
+      spec.backends.push_back(backends->at(i).AsString());
+    }
+  }
+  if (const obs::JsonValue* options = line.Find("options");
+      options != nullptr) {
+    if (!options->is_object()) {
+      return Status::InvalidArgument("options must be an object at line " +
+                                     std::to_string(line_number));
+    }
+    for (const auto& [key, value] : options->members()) {
+      if (value.is_string()) {
+        spec.request.options[key] = value.AsString();
+      } else if (value.is_int()) {
+        spec.request.options[key] = std::to_string(value.AsInt());
+      } else if (value.is_number()) {
+        std::ostringstream formatted;
+        formatted << value.AsDouble();
+        spec.request.options[key] = formatted.str();
+      } else {
+        return Status::InvalidArgument("option '" + key +
+                                       "' must be a string or number at line " +
+                                       std::to_string(line_number));
+      }
+    }
+  }
+  return spec;
+}
+
+std::string MembersToString(const VertexList& members) {
+  std::string joined;
+  for (Vertex v : members) {
+    if (!joined.empty()) {
+      joined += " ";
+    }
+    joined += std::to_string(v);
+  }
+  return joined;
+}
+
+std::string RenderResponseLine(const std::string& label,
+                               const SolveResponse& response) {
+  obs::JsonValue line = obs::JsonValue::Object();
+  line.Set("label", label);
+  line.Set("status", std::string(StatusCodeName(response.status.code())));
+  line.Set("backend", response.backend);
+  line.Set("size", response.solution.size);
+  line.Set("members", MembersToString(response.solution.members));
+  line.Set("provably_optimal", response.provably_optimal);
+  line.Set("attempts", response.attempts);
+  line.Set("degraded_from", response.degraded_from);
+  line.Set("degradation_reason", response.degradation_reason);
+  return line.Dump();
+}
+
+}  // namespace qplex::svc

@@ -173,6 +173,38 @@ SolveResponse JobScheduler::Wait(JobId id) {
   return merged;
 }
 
+bool JobScheduler::TryWait(JobId id, SolveResponse* response) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      response->status = Status::InvalidArgument(
+          "unknown or already-consumed job id " + std::to_string(id));
+      return true;
+    }
+    job = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (!job->done) {
+      return false;
+    }
+    if (job->consumed) {
+      response->status = Status::InvalidArgument(
+          "unknown or already-consumed job id " + std::to_string(id));
+      return true;
+    }
+    job->consumed = true;
+    *response = std::move(job->merged);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(id);
+  }
+  return true;
+}
+
 void JobScheduler::Cancel(JobId id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);

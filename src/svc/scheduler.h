@@ -118,6 +118,14 @@ class JobScheduler {
   /// on the same id returns kInvalidArgument.
   SolveResponse Wait(JobId id);
 
+  /// Non-blocking completion probe for event-loop callers (the socket serve
+  /// loop multiplexes many jobs on one thread and can never block in Wait).
+  /// When the job has finished, consumes its response exactly like Wait()
+  /// and returns true; returns false while it is still queued or running.
+  /// An unknown or already-consumed id returns true with an InvalidArgument
+  /// response.
+  bool TryWait(JobId id, SolveResponse* response);
+
   /// Requests cooperative cancellation; the job still completes through
   /// Wait() with its incumbent.
   void Cancel(JobId id);

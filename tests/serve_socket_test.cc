@@ -1,0 +1,388 @@
+// End-to-end test of qplex_serve --listen: four concurrent loopback clients
+// multiplexed onto one scheduler with per-client response routing, the
+// record/replay determinism contract (byte-identical --journal), per-request
+// errors for malformed lines on a surviving connection, oversize-line
+// rejection, and the graceful SIGTERM drain (in-flight responses all arrive,
+// exit code 0). Server and client binary paths are injected by CMake as
+// QPLEX_SERVE_PATH / QPLEX_CLIENT_PATH.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <poll.h>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/io.h"
+#include "obs/json.h"
+
+namespace qplex {
+namespace {
+
+std::filesystem::path TempDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qplex_serve_socket" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RunClient(const std::string& args) {
+  const std::string command =
+      std::string(QPLEX_CLIENT_PATH) + " " + args + " >/dev/null 2>/dev/null";
+  const int raw = std::system(command.c_str());
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+/// A qplex_serve --listen child process: fork/exec, wait for the port file,
+/// SIGTERM + reaped exit status on Stop().
+class ServeProcess {
+ public:
+  /// `extra` is appended to the base flag set. The server binds port 0 and
+  /// announces the real port through --port-file.
+  explicit ServeProcess(const std::filesystem::path& dir,
+                        const std::string& extra = "") {
+    const std::filesystem::path port_file = dir / "port.txt";
+    std::string command = std::string(QPLEX_SERVE_PATH) + " --listen 0" +
+                          " --port-file " + port_file.string() + " --journal " +
+                          (dir / "journal.jsonl").string() +
+                          " --events - --workers 4 " + extra +
+                          " >/dev/null 2>" + (dir / "serve.err").string();
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      // exec through the shell so the redirections apply; `exec` makes the
+      // server replace the shell, keeping pid_ signallable.
+      ::execl("/bin/sh", "sh", "-c", ("exec " + command).c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    for (int i = 0; i < 200 && port_ <= 0; ++i) {
+      std::ifstream in(port_file);
+      if (!(in >> port_)) {
+        port_ = 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+  }
+
+  ~ServeProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  int port() const { return port_; }
+
+  /// SIGTERM, reap, and return the exit code (-1 for abnormal death).
+  int Stop() {
+    if (pid_ <= 0) {
+      return -1;
+    }
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+};
+
+const char* kBlockGraph =
+    "{\"n\":8,\"edges\":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3],[3,4],[4,5],"
+    "[4,6],[5,6],[5,7],[6,7]]}";
+
+/// Writes `count` single-backend jobs with distinct labels job-0..count-1,
+/// alternating backends so racing worker threads finish out of order.
+std::filesystem::path WriteRequests(const std::filesystem::path& dir,
+                                    int count) {
+  const std::filesystem::path path = dir / "requests.jsonl";
+  std::ofstream out(path);
+  for (int i = 0; i < count; ++i) {
+    const char* backend = i % 3 == 0 ? "bs" : (i % 3 == 1 ? "grasp" : "enum");
+    out << "{\"id\":\"job-" << i << "\",\"k\":2,\"backend\":\"" << backend
+        << "\",\"seed\":" << i << ",\"graph\":" << kBlockGraph << "}\n";
+  }
+  return path;
+}
+
+/// Parses the "label" field out of every JSONL response line.
+std::vector<std::string> Labels(const std::string& jsonl) {
+  std::vector<std::string> labels;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    Result<obs::JsonValue> parsed = obs::JsonValue::Parse(line);
+    if (parsed.ok() && parsed.value().is_object()) {
+      const obs::JsonValue* label = parsed.value().Find("label");
+      if (label != nullptr && label->is_string()) {
+        labels.push_back(label->AsString());
+      }
+    }
+  }
+  return labels;
+}
+
+TEST(ServeSocketTest, FourConcurrentClientsGetTheirOwnResponses) {
+  const std::filesystem::path dir = TempDir("concurrent");
+  ServeProcess serve(dir);
+  ASSERT_GT(serve.port(), 0) << ReadFile(dir / "serve.err");
+
+  const std::filesystem::path requests = WriteRequests(dir, 16);
+  const std::filesystem::path conns = dir / "conns";
+  std::filesystem::create_directories(conns);
+  // One client process, four concurrent connections, requests dealt
+  // round-robin: connection c receives exactly labels job-{c, c+4, c+8, ...}.
+  ASSERT_EQ(RunClient("--port " + std::to_string(serve.port()) +
+                      " --requests " + requests.string() +
+                      " --connections 4 --mode pipeline --out-dir " +
+                      conns.string()),
+            0);
+  for (int c = 0; c < 4; ++c) {
+    const std::vector<std::string> labels = Labels(
+        ReadFile(conns / ("conn-" + std::to_string(c) + ".jsonl")));
+    std::set<std::string> expected;
+    for (int i = c; i < 16; i += 4) {
+      expected.insert("job-" + std::to_string(i));
+    }
+    // Routing: each connection gets exactly its own requests' responses,
+    // never a neighbour's. Set equality, not sequence equality — responses
+    // are tagged with the request id precisely because they arrive in
+    // completion order, not request order.
+    EXPECT_EQ(std::set<std::string>(labels.begin(), labels.end()), expected)
+        << "connection " << c;
+  }
+
+  EXPECT_EQ(serve.Stop(), 0);
+  // Every admitted job journaled exactly once.
+  const std::vector<std::string> journaled =
+      Labels(ReadFile(dir / "journal.jsonl"));
+  EXPECT_EQ(std::set<std::string>(journaled.begin(), journaled.end()).size(),
+            16u);
+}
+
+TEST(ServeSocketTest, RecordedScriptReplaysToByteIdenticalJournal) {
+  const std::filesystem::path dir = TempDir("replay");
+  const std::filesystem::path requests = WriteRequests(dir, 12);
+  const std::filesystem::path script = dir / "script.txt";
+
+  const std::filesystem::path rec_dir = TempDir("replay/rec");
+  {
+    ServeProcess serve(rec_dir);
+    ASSERT_GT(serve.port(), 0) << ReadFile(rec_dir / "serve.err");
+    const std::filesystem::path conns = rec_dir / "conns";
+    std::filesystem::create_directories(conns);
+    // --record tightens lockstep to one request in flight across all four
+    // connections, so the script captures the server's admission order.
+    ASSERT_EQ(RunClient("--port " + std::to_string(serve.port()) +
+                        " --requests " + requests.string() +
+                        " --connections 4 --record " + script.string() +
+                        " --out-dir " + conns.string()),
+              0);
+    ASSERT_EQ(serve.Stop(), 0);
+  }
+  const std::string recorded_journal = ReadFile(rec_dir / "journal.jsonl");
+  ASSERT_FALSE(recorded_journal.empty());
+  ASSERT_EQ(Labels(recorded_journal).size(), 12u);
+
+  const std::filesystem::path replay_dir = TempDir("replay/rep");
+  {
+    ServeProcess serve(replay_dir);
+    ASSERT_GT(serve.port(), 0) << ReadFile(replay_dir / "serve.err");
+    ASSERT_EQ(RunClient("--port " + std::to_string(serve.port()) +
+                        " --replay " + script.string() + " --out " +
+                        (replay_dir / "responses.jsonl").string()),
+              0);
+    ASSERT_EQ(serve.Stop(), 0);
+  }
+  // The determinism contract: replaying the recorded connection script on a
+  // fresh server reproduces the WAL byte for byte.
+  EXPECT_EQ(ReadFile(replay_dir / "journal.jsonl"), recorded_journal);
+}
+
+/// Reads one framed response line off a raw socket, with a poll timeout.
+Result<std::string> ReadLine(int fd, net::FrameSplitter& splitter) {
+  std::string line;
+  for (int i = 0; i < 400; ++i) {
+    if (splitter.Next(&line)) {
+      return line;
+    }
+    pollfd waiter{};
+    waiter.fd = fd;
+    waiter.events = POLLIN;
+    if (net::PollFds(&waiter, 1, 25) <= 0) {
+      continue;
+    }
+    char buffer[4096];
+    const net::IoResult got = net::ReadFd(fd, buffer, sizeof(buffer));
+    if (got.state == net::IoState::kClosed) {
+      return Status::Internal("peer closed");
+    }
+    if (got.state == net::IoState::kOk) {
+      QPLEX_RETURN_IF_ERROR(
+          splitter.Feed(std::string_view(buffer, got.bytes)));
+    }
+  }
+  return Status::DeadlineExceeded("no response within 10s");
+}
+
+Status SendAll(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const net::IoResult wrote =
+        net::WriteFd(fd, text.data() + sent, text.size() - sent);
+    if (wrote.state != net::IoState::kOk) {
+      return Status::Internal("send failed");
+    }
+    sent += wrote.bytes;
+  }
+  return Status::Ok();
+}
+
+TEST(ServeSocketTest, MalformedLineEarnsErrorAndConnectionSurvives) {
+  const std::filesystem::path dir = TempDir("malformed");
+  ServeProcess serve(dir);
+  ASSERT_GT(serve.port(), 0) << ReadFile(dir / "serve.err");
+
+  Result<int> fd = net::ConnectLoopback(serve.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  net::FrameSplitter splitter;
+
+  ASSERT_TRUE(SendAll(fd.value(), "this is not json\n").ok());
+  Result<std::string> error = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(error.ok()) << error.status();
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(error.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("status")->AsString(), "InvalidArgument");
+
+  // The connection survives a malformed request: the next valid one solves.
+  ASSERT_TRUE(
+      SendAll(fd.value(), std::string("{\"id\":\"after\",\"k\":2,"
+                                      "\"backend\":\"bs\",\"graph\":") +
+                              kBlockGraph + "}\n")
+          .ok());
+  Result<std::string> response = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(response.ok()) << response.status();
+  parsed = obs::JsonValue::Parse(response.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("label")->AsString(), "after");
+  EXPECT_EQ(parsed.value().Find("status")->AsString(), "OK");
+  EXPECT_EQ(parsed.value().Find("size")->AsInt(), 4);
+
+  net::CloseFd(fd.value());
+  EXPECT_EQ(serve.Stop(), 0);
+}
+
+TEST(ServeSocketTest, OversizeLineIsRejectedAndConnectionClosed) {
+  const std::filesystem::path dir = TempDir("oversize");
+  ServeProcess serve(dir, "--max-line-bytes 256");
+  ASSERT_GT(serve.port(), 0) << ReadFile(dir / "serve.err");
+
+  Result<int> fd = net::ConnectLoopback(serve.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  net::FrameSplitter splitter;
+  ASSERT_TRUE(SendAll(fd.value(), std::string(1024, 'x') + "\n").ok());
+
+  Result<std::string> error = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(error.ok()) << error.status();
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(error.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("status")->AsString(), "ResourceExhausted");
+  // ... and then the server hangs up (the splitter cannot resynchronise).
+  char buffer[64];
+  net::IoResult got{};
+  for (int i = 0; i < 400; ++i) {
+    pollfd waiter{};
+    waiter.fd = fd.value();
+    waiter.events = POLLIN;
+    if (net::PollFds(&waiter, 1, 25) <= 0) {
+      continue;  // poll-wait so a misbehaving server cannot hang the test
+    }
+    got = net::ReadFd(fd.value(), buffer, sizeof(buffer));
+    if (got.state != net::IoState::kOk) {
+      break;
+    }
+  }
+  EXPECT_EQ(got.state, net::IoState::kClosed);
+
+  net::CloseFd(fd.value());
+  EXPECT_EQ(serve.Stop(), 0);
+}
+
+TEST(ServeSocketTest, SigtermDrainsInFlightResponsesBeforeExit) {
+  const std::filesystem::path dir = TempDir("drain");
+  ServeProcess serve(dir);
+  ASSERT_GT(serve.port(), 0) << ReadFile(dir / "serve.err");
+
+  Result<int> fd = net::ConnectLoopback(serve.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // Pipeline six requests without reading anything, then SIGTERM while they
+  // are in flight. The graceful drain must finish every admitted job, flush
+  // every response to this socket, and exit 0.
+  std::string burst;
+  for (int i = 0; i < 6; ++i) {
+    burst += "{\"id\":\"drain-" + std::to_string(i) +
+             "\",\"k\":2,\"backend\":\"grasp\",\"seed\":" + std::to_string(i) +
+             ",\"graph\":" + kBlockGraph + "}\n";
+  }
+  ASSERT_TRUE(SendAll(fd.value(), burst).ok());
+  // Wait for the first response so the SIGTERM provably lands mid-batch,
+  // not before the requests were read.
+  net::FrameSplitter splitter;
+  Result<std::string> first = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  EXPECT_EQ(serve.Stop(), 0);
+
+  std::vector<std::string> labels = Labels(first.value() + "\n");
+  while (true) {
+    Result<std::string> line = ReadLine(fd.value(), splitter);
+    if (!line.ok()) {
+      break;
+    }
+    for (std::string& label : Labels(line.value() + "\n")) {
+      labels.push_back(std::move(label));
+    }
+  }
+  std::vector<std::string> expected;
+  for (int i = 0; i < 6; ++i) {
+    expected.push_back("drain-" + std::to_string(i));
+  }
+  // Every response arrives (completion order); the journal is in admission
+  // order, which for one pipelined connection IS the request order.
+  EXPECT_EQ(std::set<std::string>(labels.begin(), labels.end()),
+            std::set<std::string>(expected.begin(), expected.end()));
+  EXPECT_EQ(Labels(ReadFile(dir / "journal.jsonl")), expected);
+  net::CloseFd(fd.value());
+}
+
+TEST(ServeSocketTest, ListenAndJobsFlagsAreExclusive) {
+  const std::string command = std::string(QPLEX_SERVE_PATH) +
+                              " --listen 0 --jobs - >/dev/null 2>/dev/null";
+  const int raw = std::system(command.c_str());
+  EXPECT_EQ(WIFEXITED(raw) ? WEXITSTATUS(raw) : -1, 2);
+}
+
+}  // namespace
+}  // namespace qplex

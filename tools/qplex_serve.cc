@@ -1,38 +1,47 @@
-// qplex batch solve service: reads JSONL job requests, executes them through
-// the svc::JobScheduler over every registered backend, and streams JSONL
-// responses (job_start / job_end events) through the obs event sink.
+// qplex solve service: executes JSONL job requests through the
+// svc::JobScheduler over every registered backend, either as a one-shot
+// batch (--jobs, file or stdin) or as a persistent loopback TCP server
+// (--listen) multiplexing many concurrent clients onto the one scheduler.
 //
-//   qplex_serve --jobs <file|-> [--workers N] [--queue-cap N]
-//               [--events <file|->] [--cache on|off]
+//   qplex_serve --jobs <file|-> | --listen <port> [--workers N]
+//               [--queue-cap N] [--events <file|->] [--cache on|off]
 //               [--metrics-json <file|->] [--metrics-prom <file>]
 //               [--metrics-prom-interval-ms N] [--slo-ms X]
 //               [--progress-interval-ms N]
 //               [--journal <file>] [--resume]
 //               [--fault-spec site:rate[:seed]] [--max-sim-bytes N]
 //               [--max-retries N]
+//               [--max-connections N] [--idle-timeout-ms N]
+//               [--max-line-bytes N] [--port-file <file>]
 //
-// One JSON object per input line:
+// Requests are one JSON object per line in both modes, parsed by the single
+// svc::ParseRequestLine entry point (see src/svc/request.h for the schema),
+// so a malformed line is rejected with identical error text whether it
+// arrived from a file or a socket. In batch mode a malformed line fails the
+// batch (exit 2); in socket mode it earns a per-request error response and
+// the connection lives on.
 //
-//   {"id": "j1", "k": 2, "backend": "bs", "seed": 7, "deadline_ms": 500,
-//    "graph": {"n": 8, "edges": [[0,1],[1,2]]},      // inline instance, or
-//    "input": "graph.col", "format": "dimacs",       // a graph file
-//    "backends": ["bs", "sa"],                       // portfolio race
-//    "options": {"shots": 50}}                       // backend knobs
-//
-// `backends` (when present) races the listed backends and overrides
-// `backend`. Responses stream to --events (default "-", stdout) as job_end
-// lines carrying status, size, members, cache/queue/wall accounting. With
-// fixed seeds the solutions are identical for any --workers value; malformed
-// request lines fail the batch (exit 2), solver-level job failures are
-// reported per job and summarised in batch_end.
+// Socket mode (--listen, port 0 = kernel-assigned, announced via the
+// "listening" event and --port-file): a single-threaded poll() event loop
+// (src/net/) accepts clients, frames their request lines, and submits each
+// to the scheduler; responses are routed back to the originating connection
+// as one JSON line per request, tagged with the client's request id.
+// Scheduler backpressure composes outward: admission-queue rejections park
+// requests in a bounded backlog, and past that the server sheds load with
+// per-request ResourceExhausted responses. SIGTERM/SIGINT performs the
+// graceful drain — stop accepting, finish in-flight jobs, flush every
+// response, close. A client disconnecting mid-stream degrades to a
+// per-connection error (SIGPIPE is ignored); its jobs still run and
+// journal, only the responses are dropped.
 //
 // Crash safety: --journal appends one timestamp-free JSON line per finished
-// job (the WAL), flushed line-by-line, and SIGINT/SIGTERM gracefully stop
-// the batch — in-flight jobs are cancelled, the journal is flushed, and
-// batch_end carries interrupted:true. Restarting with --resume validates the
-// journal prefix against the job file, skips the journaled jobs, and appends
-// the rest, so the final journal is byte-identical to an uninterrupted run.
-// --fault-spec arms the deterministic fault injector (DESIGN.md section 10).
+// job (the WAL), flushed line-by-line. Batch mode journals in submission
+// order and supports --resume (skip journaled jobs; byte-identical final
+// journal). Socket mode journals in *admission order* through a reorder
+// buffer, so a recorded connection script replayed in lockstep
+// (qplex_client --replay) produces a byte-identical journal to the run it
+// recorded. --fault-spec arms the deterministic fault injector (DESIGN.md
+// section 10).
 
 #include <atomic>
 #include <charconv>
@@ -40,14 +49,17 @@
 #include <csignal>
 #include <cstdio>
 #include <deque>
+#include <fcntl.h>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -56,14 +68,16 @@
 namespace qplex {
 namespace {
 
-/// Set by the SIGINT/SIGTERM handler; polled by the batch loop and the
-/// cancellation watcher. Async-signal-safe by construction (one store).
+/// Set by the SIGINT/SIGTERM handler; polled by the batch loop, the socket
+/// event loop, and the cancellation watcher. Async-signal-safe by
+/// construction (one store).
 volatile std::sig_atomic_t g_signal = 0;
 
 void HandleSignal(int sig) { g_signal = sig; }
 
 struct ServeOptions {
-  std::string jobs;  // job file; "-" = stdin
+  std::string jobs;      // job file; "-" = stdin; empty in socket mode
+  int listen_port = -1;  // >= 0 enables socket mode (0 = kernel-assigned)
   int workers = 4;
   int queue_cap = 64;
   std::string events = "-";
@@ -74,15 +88,20 @@ struct ServeOptions {
   double slo_ms = 0;                 // >0 = per-job latency objective
   int progress_interval_ms = obs::EventSink::kDefaultProgressIntervalMs;
   std::string journal;       // WAL path; empty = no journaling
-  bool resume = false;       // skip jobs already journaled
+  bool resume = false;       // skip jobs already journaled (batch mode only)
   std::string fault_spec;    // forwarded to the global FaultInjector
   std::uint64_t max_sim_bytes = 0;  // 0 = keep the default budget
   int max_retries = 2;
+  // Socket-mode knobs.
+  int max_connections = 64;
+  int idle_timeout_ms = 0;  // 0 = connections never idle out
+  std::uint64_t max_line_bytes = net::FrameSplitter::kDefaultMaxLineBytes;
+  std::string port_file;  // written with the bound port once listening
 };
 
 void PrintUsage() {
-  std::cerr << "usage: qplex_serve --jobs <file|-> [--workers <int>] "
-               "[--queue-cap <int>]\n"
+  std::cerr << "usage: qplex_serve --jobs <file|-> | --listen <port>\n"
+               "                   [--workers <int>] [--queue-cap <int>]\n"
                "                   [--events <file|->] [--cache on|off]\n"
                "                   [--metrics-json <file|->] "
                "[--metrics-prom <file>]\n"
@@ -92,7 +111,11 @@ void PrintUsage() {
                "                   [--journal <file>] [--resume]\n"
                "                   [--fault-spec site:rate[:seed]] "
                "[--max-sim-bytes <int>]\n"
-               "                   [--max-retries <int>]\n";
+               "                   [--max-retries <int>]\n"
+               "                   [--max-connections <int>] "
+               "[--idle-timeout-ms <int>]\n"
+               "                   [--max-line-bytes <int>] "
+               "[--port-file <file>]\n";
 }
 
 template <typename T>
@@ -135,6 +158,12 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
     };
     if (arg == "--jobs") {
       QPLEX_ASSIGN_OR_RETURN(options.jobs, next());
+    } else if (arg == "--listen") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.listen_port, ParseInt<int>(arg, value));
+      if (options.listen_port < 0 || options.listen_port > 65535) {
+        return Status::InvalidArgument("--listen port must be in [0, 65535]");
+      }
     } else if (arg == "--workers") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.workers, ParseInt<int>(arg, value));
@@ -185,14 +214,40 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--max-retries") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.max_retries, ParseInt<int>(arg, value));
+    } else if (arg == "--max-connections") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.max_connections,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--idle-timeout-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.idle_timeout_ms,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--max-line-bytes") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.max_line_bytes,
+                             ParseInt<std::uint64_t>(arg, value));
+      if (options.max_line_bytes < 2) {
+        return Status::InvalidArgument("--max-line-bytes must be >= 2");
+      }
+    } else if (arg == "--port-file") {
+      QPLEX_ASSIGN_OR_RETURN(options.port_file, next());
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
   }
-  if (options.jobs.empty()) {
-    return Status::InvalidArgument("--jobs is required");
+  const bool socket_mode = options.listen_port >= 0;
+  if (options.jobs.empty() && !socket_mode) {
+    return Status::InvalidArgument("--jobs or --listen is required");
+  }
+  if (!options.jobs.empty() && socket_mode) {
+    return Status::InvalidArgument("--jobs and --listen are exclusive");
+  }
+  if (socket_mode && options.resume) {
+    return Status::InvalidArgument(
+        "--resume applies to batch mode only (socket-mode journals are "
+        "reproduced by replaying the connection script)");
   }
   if (options.workers < 1) {
     return Status::InvalidArgument("--workers must be >= 1");
@@ -209,6 +264,12 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
   if (options.max_retries < 0) {
     return Status::InvalidArgument("--max-retries must be >= 0");
   }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("--max-connections must be >= 1");
+  }
+  if (options.idle_timeout_ms < 0) {
+    return Status::InvalidArgument("--idle-timeout-ms must be >= 0");
+  }
   if (options.metrics_prom_interval_ms < 0) {
     return Status::InvalidArgument("--metrics-prom-interval-ms must be >= 0");
   }
@@ -222,147 +283,43 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
   return options;
 }
 
-/// One parsed request line: the scheduler request plus the racer list.
-struct JobSpec {
-  svc::SolveRequest request;
-  std::vector<std::string> backends;  ///< empty = single request.backend
-};
-
-Result<Graph> ParseInlineGraph(const obs::JsonValue& spec, int line_number) {
-  const obs::JsonValue* n = spec.Find("n");
-  if (n == nullptr || !n->is_int()) {
-    return Status::InvalidArgument("graph.n missing at line " +
-                                   std::to_string(line_number));
-  }
-  std::vector<std::pair<Vertex, Vertex>> edges;
-  if (const obs::JsonValue* list = spec.Find("edges"); list != nullptr) {
-    if (!list->is_array()) {
-      return Status::InvalidArgument("graph.edges must be an array at line " +
-                                     std::to_string(line_number));
-    }
-    for (std::size_t i = 0; i < list->size(); ++i) {
-      const obs::JsonValue& edge = list->at(i);
-      if (!edge.is_array() || edge.size() != 2 || !edge.at(0).is_int() ||
-          !edge.at(1).is_int()) {
-        return Status::InvalidArgument(
-            "graph.edges[" + std::to_string(i) +
-            "] must be [u, v] at line " + std::to_string(line_number));
-      }
-      edges.emplace_back(static_cast<Vertex>(edge.at(0).AsInt()),
-                         static_cast<Vertex>(edge.at(1).AsInt()));
+/// Slurps a whole file (or stdin for "-") through the EINTR-safe read
+/// wrapper, so a signal during journal replay or job-file loading retries
+/// instead of truncating the input.
+Result<std::string> SlurpFile(const std::string& path) {
+  int fd = 0;  // stdin
+  if (path != "-") {
+    do {
+      fd = ::open(path.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return Status::NotFound("cannot open file: " + path);
     }
   }
-  return MakeGraph(static_cast<int>(n->AsInt()), edges);
-}
-
-Result<Graph> LoadJobGraph(const obs::JsonValue& line, int line_number) {
-  if (const obs::JsonValue* inline_graph = line.Find("graph");
-      inline_graph != nullptr) {
-    return ParseInlineGraph(*inline_graph, line_number);
-  }
-  const obs::JsonValue* input = line.Find("input");
-  if (input == nullptr || !input->is_string()) {
-    return Status::InvalidArgument(
-        "request needs \"graph\" or \"input\" at line " +
-        std::to_string(line_number));
-  }
-  std::string format = "dimacs";
-  if (const obs::JsonValue* f = line.Find("format"); f != nullptr) {
-    if (!f->is_string()) {
-      return Status::InvalidArgument("format must be a string at line " +
-                                     std::to_string(line_number));
-    }
-    format = f->AsString();
-  }
-  if (format == "dimacs") {
-    return LoadDimacsFile(input->AsString());
-  }
-  if (format == "edgelist") {
-    return LoadEdgeListFile(input->AsString());
-  }
-  return Status::InvalidArgument("unknown format '" + format + "' at line " +
-                                 std::to_string(line_number));
-}
-
-Result<JobSpec> ParseJobLine(const std::string& text, int line_number) {
-  QPLEX_ASSIGN_OR_RETURN(obs::JsonValue line, obs::JsonValue::Parse(text));
-  if (!line.is_object()) {
-    return Status::InvalidArgument("request must be a JSON object at line " +
-                                   std::to_string(line_number));
-  }
-  JobSpec spec;
-  QPLEX_ASSIGN_OR_RETURN(spec.request.graph, LoadJobGraph(line, line_number));
-  spec.request.label = "line-" + std::to_string(line_number);
-  if (const obs::JsonValue* id = line.Find("id"); id != nullptr) {
-    spec.request.label =
-        id->is_string() ? id->AsString() : std::to_string(id->AsInt());
-  }
-  if (const obs::JsonValue* k = line.Find("k"); k != nullptr) {
-    spec.request.k = static_cast<int>(k->AsInt());
-  }
-  if (const obs::JsonValue* seed = line.Find("seed"); seed != nullptr) {
-    spec.request.seed = static_cast<std::uint64_t>(seed->AsInt());
-  }
-  if (const obs::JsonValue* deadline = line.Find("deadline_ms");
-      deadline != nullptr) {
-    spec.request.deadline_seconds = deadline->AsDouble() / 1e3;
-  }
-  if (const obs::JsonValue* backend = line.Find("backend");
-      backend != nullptr) {
-    spec.request.backend = backend->AsString();
-  }
-  if (const obs::JsonValue* backends = line.Find("backends");
-      backends != nullptr) {
-    if (!backends->is_array() || backends->size() == 0) {
-      return Status::InvalidArgument(
-          "backends must be a non-empty array at line " +
-          std::to_string(line_number));
-    }
-    for (std::size_t i = 0; i < backends->size(); ++i) {
-      spec.backends.push_back(backends->at(i).AsString());
-    }
-  }
-  if (const obs::JsonValue* options = line.Find("options");
-      options != nullptr) {
-    if (!options->is_object()) {
-      return Status::InvalidArgument("options must be an object at line " +
-                                     std::to_string(line_number));
-    }
-    for (const auto& [key, value] : options->members()) {
-      if (value.is_string()) {
-        spec.request.options[key] = value.AsString();
-      } else if (value.is_int()) {
-        spec.request.options[key] = std::to_string(value.AsInt());
-      } else if (value.is_number()) {
-        std::ostringstream formatted;
-        formatted << value.AsDouble();
-        spec.request.options[key] = formatted.str();
-      } else {
-        return Status::InvalidArgument("option '" + key +
-                                       "' must be a string or number at line " +
-                                       std::to_string(line_number));
-      }
-    }
-  }
-  return spec;
-}
-
-Result<std::vector<JobSpec>> ReadJobs(const std::string& path) {
   std::string text;
-  if (path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      return Status::NotFound("cannot open jobs file: " + path);
+  char buffer[64 * 1024];
+  while (true) {
+    const net::IoResult got = net::ReadFd(fd, buffer, sizeof(buffer));
+    if (got.state == net::IoState::kClosed) {
+      break;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
+    if (got.state != net::IoState::kOk) {
+      if (path != "-") {
+        net::CloseFd(fd);
+      }
+      return Status::Internal("read failed on " + path);
+    }
+    text.append(buffer, got.bytes);
   }
-  std::vector<JobSpec> specs;
+  if (path != "-") {
+    net::CloseFd(fd);
+  }
+  return text;
+}
+
+Result<std::vector<svc::RequestSpec>> ReadJobs(const std::string& path) {
+  QPLEX_ASSIGN_OR_RETURN(const std::string text, SlurpFile(path));
+  std::vector<svc::RequestSpec> specs;
   std::istringstream in(text);
   std::string line;
   int line_number = 0;
@@ -372,38 +329,11 @@ Result<std::vector<JobSpec>> ReadJobs(const std::string& path) {
     if (first == std::string::npos || line[first] == '#') {
       continue;
     }
-    QPLEX_ASSIGN_OR_RETURN(JobSpec spec, ParseJobLine(line, line_number));
+    QPLEX_ASSIGN_OR_RETURN(svc::RequestSpec spec,
+                           svc::ParseRequestLine(line, line_number));
     specs.push_back(std::move(spec));
   }
   return specs;
-}
-
-std::string MembersToString(const VertexList& members) {
-  std::string joined;
-  for (Vertex v : members) {
-    if (!joined.empty()) {
-      joined += " ";
-    }
-    joined += std::to_string(v);
-  }
-  return joined;
-}
-
-/// One WAL line. Deliberately timestamp- and wall-clock-free so the journal
-/// of a resumed batch is byte-identical to an uninterrupted run.
-void WriteJournalLine(std::ostream& out, const std::string& label,
-                      const svc::SolveResponse& response) {
-  obs::JsonValue line = obs::JsonValue::Object();
-  line.Set("label", label);
-  line.Set("status", std::string(StatusCodeName(response.status.code())));
-  line.Set("backend", response.backend);
-  line.Set("size", response.solution.size);
-  line.Set("members", MembersToString(response.solution.members));
-  line.Set("provably_optimal", response.provably_optimal);
-  line.Set("attempts", response.attempts);
-  line.Set("degraded_from", response.degraded_from);
-  line.Set("degradation_reason", response.degradation_reason);
-  out << line.Dump() << "\n" << std::flush;
 }
 
 struct JournalEntry {
@@ -417,10 +347,11 @@ struct JournalEntry {
 /// discarded with it.
 Result<std::vector<JournalEntry>> ReadJournal(const std::string& path) {
   std::vector<JournalEntry> entries;
-  std::ifstream in(path);
-  if (!in) {
+  const Result<std::string> slurped = SlurpFile(path);
+  if (!slurped.ok()) {
     return entries;  // no journal yet: a fresh run
   }
+  std::istringstream in(slurped.value());
   std::string text;
   while (std::getline(in, text)) {
     Result<obs::JsonValue> parsed = obs::JsonValue::Parse(text);
@@ -452,7 +383,7 @@ struct BatchOutcome {
 /// stops submitting, a watcher cancels everything in flight, and journaling
 /// stops so the WAL stays a clean prefix of the uninterrupted run.
 Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
-                              std::vector<JobSpec> specs,
+                              std::vector<svc::RequestSpec> specs,
                               std::ostream* journal,
                               const std::vector<JournalEntry>& journaled) {
   BatchOutcome outcome;
@@ -481,7 +412,7 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
   }
 
   std::mutex mutex;
-  std::deque<std::pair<svc::JobId, const JobSpec*>> outstanding;
+  std::deque<std::pair<svc::JobId, const svc::RequestSpec*>> outstanding;
   std::atomic<bool> done{false};
   // On a signal, cancel every in-flight job (repeatedly — cancellation is
   // idempotent and new jobs cannot be submitted once g_signal is set). This
@@ -508,7 +439,7 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
 
   auto drain_one = [&] {
     svc::JobId id;
-    const JobSpec* spec;
+    const svc::RequestSpec* spec;
     {
       std::lock_guard<std::mutex> lock(mutex);
       std::tie(id, spec) = outstanding.front();
@@ -524,7 +455,9 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
     // Once a signal landed, responses are from cancelled jobs — don't
     // journal them, so --resume recomputes them with full budgets.
     if (journal != nullptr && g_signal == 0) {
-      WriteJournalLine(*journal, spec->request.label, response);
+      *journal << svc::RenderResponseLine(spec->request.label, response)
+               << "\n"
+               << std::flush;
     }
   };
 
@@ -535,7 +468,7 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
   resilience::Backoff admission_backoff(admission_backoff_options);
 
   for (std::size_t i = journaled.size(); i < specs.size(); ++i) {
-    JobSpec& spec = specs[i];
+    svc::RequestSpec& spec = specs[i];
     if (g_signal != 0) {
       outcome.interrupted = true;
       break;
@@ -593,6 +526,256 @@ Result<BatchOutcome> RunBatch(svc::JobScheduler* scheduler,
   }
   return outcome;
 }
+
+// ---------------------------------------------------------------------------
+// Socket mode: the poll event loop glued to the scheduler.
+
+/// Renders the per-request error line used for malformed requests, unknown
+/// backends, and shed load. Shares the "label"/"status" keys with the
+/// success renderer so clients parse one schema.
+std::string RenderErrorLine(const std::string& label, const Status& status) {
+  obs::JsonValue line = obs::JsonValue::Object();
+  line.Set("label", label);
+  line.Set("status", std::string(StatusCodeName(status.code())));
+  line.Set("error", status.message());
+  return line.Dump();
+}
+
+/// Everything the socket front-end tracks about one admitted request.
+struct Route {
+  std::uint64_t conn = 0;      ///< originating connection
+  std::string label;           ///< the client's request id
+  std::uint64_t admission = 0; ///< journal reorder position
+};
+
+/// Socket-mode statistics for the final summary event.
+struct SocketOutcome {
+  std::int64_t requests = 0;
+  std::int64_t responses = 0;
+  std::int64_t failures = 0;
+  std::int64_t malformed = 0;
+  std::int64_t shed = 0;
+  bool interrupted = false;
+};
+
+class SocketFrontEnd {
+ public:
+  SocketFrontEnd(const ServeOptions& options, svc::JobScheduler* scheduler,
+                 std::ostream* journal)
+      : options_(options), scheduler_(scheduler), journal_(journal) {}
+
+  Result<SocketOutcome> Run() {
+    net::ServerOptions server_options;
+    server_options.port = options_.listen_port;
+    server_options.max_connections = options_.max_connections;
+    server_options.idle_timeout_ms = options_.idle_timeout_ms;
+    server_options.max_line_bytes =
+        static_cast<std::size_t>(options_.max_line_bytes);
+    server_options.busy_response =
+        RenderErrorLine("", Status::ResourceExhausted(
+                                "server at max connections")) +
+        "\n";
+    net::ServerCallbacks callbacks;
+    callbacks.on_line = [this](std::uint64_t conn, std::string line) {
+      OnLine(conn, std::move(line));
+    };
+    callbacks.on_close = [this](std::uint64_t conn) { OnClose(conn); };
+    callbacks.on_protocol_error = [this](std::uint64_t conn,
+                                         const Status& violation) {
+      ++outcome_.malformed;
+      server_->Send(conn, RenderErrorLine("", violation) + "\n");
+    };
+    QPLEX_ASSIGN_OR_RETURN(
+        server_, net::Server::Create(server_options, std::move(callbacks)));
+
+    if (!options_.port_file.empty()) {
+      std::ofstream port_out(options_.port_file, std::ios::trunc);
+      port_out << server_->port() << "\n";
+      if (!port_out) {
+        return Status::Internal("cannot write port file: " +
+                                options_.port_file);
+      }
+    }
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kInfo, "net", "listening",
+                     {{"port", server_->port()},
+                      {"max_connections", options_.max_connections},
+                      {"idle_timeout_ms", options_.idle_timeout_ms}});
+    }
+
+    bool stopping = false;
+    while (true) {
+      if (g_signal != 0 && !stopping) {
+        // Graceful drain: no new connections, no new reads beyond what is
+        // already buffered; in-flight and backlogged jobs run to completion
+        // and every response flushes before exit.
+        stopping = true;
+        outcome_.interrupted = true;
+        server_->StopAccepting();
+        if (obs::EventsEnabled()) {
+          obs::EmitEvent(obs::EventLevel::kInfo, "net", "draining",
+                         {{"outstanding",
+                           static_cast<std::int64_t>(outstanding_.size())},
+                          {"backlog",
+                           static_cast<std::int64_t>(backlog_.size())}});
+        }
+      }
+      const bool busy = !outstanding_.empty() || !backlog_.empty();
+      // 2 ms keeps completion-drain latency negligible against solve times
+      // while jobs are in flight; an idle server parks in poll() for long
+      // slices (interrupted early by signals or traffic either way).
+      const int timeout_ms = busy ? 2 : (stopping ? 10 : 200);
+      QPLEX_RETURN_IF_ERROR(server_->Poll(timeout_ms));
+      SubmitBacklog();
+      DrainCompletions();
+      server_->FlushWritable();
+      if (stopping && outstanding_.empty() && backlog_.empty()) {
+        break;
+      }
+    }
+    server_->DrainWrites(/*timeout_ms=*/2000);
+    if (journal_ != nullptr) {
+      journal_->flush();
+    }
+    return outcome_;
+  }
+
+ private:
+  void OnLine(std::uint64_t conn, std::string line) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      return;  // same skip rule as batch mode
+    }
+    const int line_number = ++conn_lines_[conn];
+    ++outcome_.requests;
+    obs::MetricsRegistry::Global().GetCounter("net.requests.received")
+        .Increment();
+    Result<svc::RequestSpec> parsed = svc::ParseRequestLine(line, line_number);
+    if (!parsed.ok()) {
+      ++outcome_.malformed;
+      obs::MetricsRegistry::Global().GetCounter("net.requests.malformed")
+          .Increment();
+      server_->Send(conn, RenderErrorLine("", parsed.status()) + "\n");
+      return;
+    }
+    // Scheduler backpressure composes outward: a full admission queue parks
+    // requests here, and once the backlog itself is a queue-capacity deep,
+    // further requests are shed with an explicit error instead of buffering
+    // without bound.
+    if (backlog_.size() >= static_cast<std::size_t>(options_.queue_cap)) {
+      ++outcome_.shed;
+      obs::MetricsRegistry::Global().GetCounter("net.requests.shed")
+          .Increment();
+      server_->Send(
+          conn, RenderErrorLine(parsed.value().request.label,
+                                Status::ResourceExhausted(
+                                    "admission queue and backlog full")) +
+                    "\n");
+      return;
+    }
+    backlog_.push_back(Backlogged{conn, std::move(parsed).value()});
+    SubmitBacklog();
+  }
+
+  void OnClose(std::uint64_t conn) {
+    conn_lines_.erase(conn);
+    // Jobs already admitted for this connection keep running (and keep their
+    // journal slot — the WAL narrates admitted work, not deliveries); their
+    // responses will be dropped by Send() and counted.
+    if (obs::EventsEnabled()) {
+      obs::EmitEvent(obs::EventLevel::kInfo, "net", "conn_close",
+                     {{"conn", static_cast<std::int64_t>(conn)}});
+    }
+  }
+
+  void SubmitBacklog() {
+    while (!backlog_.empty()) {
+      Backlogged& next = backlog_.front();
+      Result<svc::JobId> submitted =
+          next.spec.backends.empty()
+              ? scheduler_->Submit(next.spec.request)
+              : scheduler_->SubmitPortfolio(next.spec.request,
+                                            next.spec.backends);
+      if (!submitted.ok()) {
+        if (submitted.status().code() == StatusCode::kResourceExhausted) {
+          return;  // queue full: retry after the next completion drains
+        }
+        // Unknown backend and friends: a per-request error, not a server
+        // fault — identical status text to the batch-mode failure.
+        server_->Send(next.conn,
+                      RenderErrorLine(next.spec.request.label,
+                                      submitted.status()) +
+                          "\n");
+        ++outcome_.failures;
+        backlog_.pop_front();
+        continue;
+      }
+      Route route;
+      route.conn = next.conn;
+      route.label = next.spec.request.label;
+      route.admission = next_admission_++;
+      outstanding_.emplace(submitted.value(), route);
+      obs::MetricsRegistry::Global()
+          .GetGauge("net.requests.outstanding_max")
+          .SetMax(static_cast<double>(outstanding_.size()));
+      backlog_.pop_front();
+    }
+  }
+
+  void DrainCompletions() {
+    if (outstanding_.empty()) {
+      return;
+    }
+    std::vector<svc::JobId> ids;
+    ids.reserve(outstanding_.size());
+    for (const auto& [id, route] : outstanding_) {
+      ids.push_back(id);
+    }
+    for (const svc::JobId id : ids) {
+      svc::SolveResponse response;
+      if (!scheduler_->TryWait(id, &response)) {
+        continue;
+      }
+      const Route route = outstanding_.at(id);
+      outstanding_.erase(id);
+      if (!response.status.ok()) {
+        ++outcome_.failures;
+      }
+      ++outcome_.responses;
+      const std::string line =
+          svc::RenderResponseLine(route.label, response) + "\n";
+      server_->Send(route.conn, line);
+      if (journal_ != nullptr) {
+        // Journal in admission order, not completion order: park the line
+        // in the reorder buffer until every earlier admission has landed.
+        journal_lines_.emplace(route.admission, line);
+        while (!journal_lines_.empty() &&
+               journal_lines_.begin()->first == journal_flushed_) {
+          *journal_ << journal_lines_.begin()->second << std::flush;
+          journal_lines_.erase(journal_lines_.begin());
+          ++journal_flushed_;
+        }
+      }
+    }
+  }
+
+  struct Backlogged {
+    std::uint64_t conn = 0;
+    svc::RequestSpec spec;
+  };
+
+  const ServeOptions& options_;
+  svc::JobScheduler* scheduler_;
+  std::ostream* journal_;
+  std::unique_ptr<net::Server> server_;
+  std::deque<Backlogged> backlog_;
+  std::map<svc::JobId, Route> outstanding_;
+  std::unordered_map<std::uint64_t, int> conn_lines_;
+  std::map<std::uint64_t, std::string> journal_lines_;
+  std::uint64_t next_admission_ = 0;
+  std::uint64_t journal_flushed_ = 0;
+  SocketOutcome outcome_;
+};
 
 /// Writes one OpenMetrics snapshot of the global registry, atomically
 /// (tmp file + rename) so a scraper tailing the path never sees a torn
@@ -657,9 +840,12 @@ class PromSnapshotter {
 
 int Main(int argc, char** argv) {
   // Handlers go in before anything else so a signal during startup already
-  // takes the graceful path.
+  // takes the graceful path. SIGPIPE is ignored process-wide: a client
+  // disconnecting mid-write must surface as EPIPE on that connection's
+  // write, never kill the server.
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  net::IgnoreSigpipe();
 
   const Result<ServeOptions> options = ParseArgs(argc, argv);
   if (!options.ok()) {
@@ -667,6 +853,7 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  const bool socket_mode = options.value().listen_port >= 0;
 
   if (!options.value().fault_spec.empty()) {
     const Status armed =
@@ -698,10 +885,15 @@ int Main(int argc, char** argv) {
     ~SinkUninstaller() { obs::EventSink::InstallGlobal(nullptr); }
   } uninstaller;
 
-  const Result<std::vector<JobSpec>> specs = ReadJobs(options.value().jobs);
-  if (!specs.ok()) {
-    std::cerr << "failed to read jobs: " << specs.status() << "\n";
-    return 2;
+  std::vector<svc::RequestSpec> specs;
+  if (!socket_mode) {
+    Result<std::vector<svc::RequestSpec>> read =
+        ReadJobs(options.value().jobs);
+    if (!read.ok()) {
+      std::cerr << "failed to read jobs: " << read.status() << "\n";
+      return 2;
+    }
+    specs = std::move(read).value();
   }
 
   // Journal setup. On --resume the valid prefix of the existing WAL is kept
@@ -745,7 +937,8 @@ int Main(int argc, char** argv) {
 
   if (obs::EventsEnabled()) {
     obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
-                   {{"jobs", static_cast<std::int64_t>(specs.value().size())},
+                   {{"jobs", static_cast<std::int64_t>(specs.size())},
+                    {"listen", socket_mode},
                     {"workers", options.value().workers},
                     {"queue_cap", options.value().queue_cap},
                     {"cache", options.value().cache},
@@ -753,12 +946,27 @@ int Main(int argc, char** argv) {
   }
   Stopwatch watch;
   Result<BatchOutcome> outcome = BatchOutcome{};
+  SocketOutcome socket_outcome;
   {
     PromSnapshotter snapshotter(options.value().metrics_prom,
                                 options.value().metrics_prom_interval_ms);
     svc::JobScheduler scheduler(&registry, scheduler_options);
-    outcome = RunBatch(&scheduler, std::move(specs).value(), journal.get(),
-                       journaled);
+    if (socket_mode) {
+      SocketFrontEnd front_end(options.value(), &scheduler, journal.get());
+      Result<SocketOutcome> ran = front_end.Run();
+      if (!ran.ok()) {
+        outcome = ran.status();
+      } else {
+        socket_outcome = std::move(ran).value();
+        BatchOutcome as_batch;
+        as_batch.failures = static_cast<int>(socket_outcome.failures);
+        as_batch.interrupted = socket_outcome.interrupted;
+        outcome = as_batch;
+      }
+    } else {
+      outcome = RunBatch(&scheduler, std::move(specs), journal.get(),
+                         journaled);
+    }
   }
   const double wall_seconds = watch.ElapsedSeconds();
   if (!outcome.ok()) {
@@ -782,6 +990,10 @@ int Main(int argc, char** argv) {
          {"failed", outcome.value().failures},
          {"skipped", outcome.value().skipped},
          {"interrupted", outcome.value().interrupted},
+         {"requests", socket_outcome.requests},
+         {"responses", socket_outcome.responses},
+         {"malformed", socket_outcome.malformed},
+         {"shed", socket_outcome.shed},
          {"retries", metrics.GetCounter("svc.retries.scheduled").Get()},
          {"fallbacks", metrics.GetCounter("svc.fallbacks.taken").Get()},
          {"cache_hits", metrics.GetCounter("svc.cache.hits").Get()},

@@ -2,6 +2,7 @@
 #define QPLEX_COMMON_CANCEL_H_
 
 #include <atomic>
+#include <cstdint>
 
 #include "common/stopwatch.h"
 
@@ -13,6 +14,18 @@ namespace qplex {
 /// the same granularity as their deadline checks and unwind with their
 /// incumbent. Cancellation is level-triggered and sticky: once set it stays
 /// set for the token's lifetime.
+///
+/// Tokens can be chained: LinkParent() makes this token report cancellation
+/// when either its own flag or the parent's is set. The scheduler hands each
+/// backend execution a fresh attempt-scoped token linked to the job token, so
+/// the watchdog can cancel one wedged attempt (fallback still runs) while a
+/// job-level Cancel() reaches every attempt. The parent must outlive this
+/// token.
+///
+/// Poll() doubles as the liveness heartbeat: every StopRequested() check a
+/// solver makes bumps a counter the scheduler watchdog reads. A solver that
+/// stops polling — wedged in an uninstrumented loop, blocked on I/O — stops
+/// heartbeating and becomes eligible for a watchdog kill.
 class CancelToken {
  public:
   CancelToken() = default;
@@ -21,18 +34,42 @@ class CancelToken {
 
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool Cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+    return parent != nullptr && parent->Cancelled();
+  }
+
+  /// Cancelled() plus a heartbeat: records that the owner is alive and
+  /// polling. Solvers reach this through StopRequested(); monitors that must
+  /// not count as progress (the watchdog itself, fault-injected stalls) read
+  /// Cancelled() directly.
+  bool Poll() const {
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    return Cancelled();
+  }
+
+  /// Heartbeat counter: number of Poll() calls observed so far.
+  std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  /// Chains this token under `parent` (nullptr unlinks). Cancellation of the
+  /// parent is then visible through Cancelled()/Poll() here; Cancel() on this
+  /// token never propagates upward.
+  void LinkParent(const CancelToken* parent) {
+    parent_.store(parent, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint64_t> polls_{0};
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 /// The combined stop predicate solvers poll between units of work: true when
 /// the deadline expired or the (optional) token was cancelled. Cheap enough
-/// for per-sweep / per-kilonode polling; not meant for inner loops.
+/// for per-sweep / per-kilonode polling; not meant for inner loops. Each call
+/// heartbeats the token, feeding the scheduler's wedged-job watchdog.
 inline bool StopRequested(const Deadline& deadline, const CancelToken* cancel) {
-  return (cancel != nullptr && cancel->Cancelled()) || deadline.Expired();
+  return (cancel != nullptr && cancel->Poll()) || deadline.Expired();
 }
 
 }  // namespace qplex

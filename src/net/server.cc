@@ -308,16 +308,30 @@ void Server::Close(std::uint64_t conn_id, const char* reason) {
   }
 }
 
+void Server::SetIdleExempt(std::uint64_t conn_id, bool exempt) {
+  const auto it = connections_.find(conn_id);
+  if (it != connections_.end()) {
+    it->second.idle_exempt = exempt;
+  }
+}
+
 void Server::CloseIdleConnections() {
   if (options_.idle_timeout_ms <= 0) {
     return;
   }
   std::vector<std::uint64_t> idle;
   for (const auto& [id, conn] : connections_) {
-    if (conn.last_activity.ElapsedMillis() >= options_.idle_timeout_ms &&
-        conn.writes.empty()) {
-      idle.push_back(id);
+    if (conn.last_activity.ElapsedMillis() < options_.idle_timeout_ms) {
+      continue;
     }
+    // Never close a peer we still owe bytes (queued responses) or answers
+    // (admitted jobs pinned via SetIdleExempt): "idle" means the peer is
+    // silent AND the server is done with it.
+    if (conn.idle_exempt || !conn.writes.empty()) {
+      Metrics().GetCounter("net.connections.idle_spared").Increment();
+      continue;
+    }
+    idle.push_back(id);
   }
   for (const std::uint64_t id : idle) {
     Metrics().GetCounter("net.connections.idle_closed").Increment();
@@ -326,13 +340,20 @@ void Server::CloseIdleConnections() {
 }
 
 int Server::NextIdleDeadlineMs() const {
-  if (options_.idle_timeout_ms <= 0 || connections_.empty()) {
+  if (options_.idle_timeout_ms <= 0) {
     return -1;
   }
-  double soonest = options_.idle_timeout_ms;
+  double soonest = -1;
   for (const auto& [id, conn] : connections_) {
-    soonest = std::min(
-        soonest, options_.idle_timeout_ms - conn.last_activity.ElapsedMillis());
+    if (conn.idle_exempt) {
+      continue;  // pinned connections have no idle deadline to wake for
+    }
+    const double remaining =
+        options_.idle_timeout_ms - conn.last_activity.ElapsedMillis();
+    soonest = soonest < 0 ? remaining : std::min(soonest, remaining);
+  }
+  if (soonest < 0) {
+    return -1;
   }
   return std::max(0, static_cast<int>(soonest) + 1);
 }

@@ -99,6 +99,15 @@ class Server {
   /// graceful drain.
   void StopAccepting();
 
+  /// Exempts `conn_id` from the idle timeout while the caller holds
+  /// admitted-but-unanswered work for it. The idle timer only measures
+  /// inbound silence, so without this a connection whose one request is
+  /// still in the scheduler — write buffer empty, nothing left to read —
+  /// would be "idle" and its eventual response dropped. The serve front-end
+  /// pins a connection while its outstanding-job count is non-zero.
+  /// Unknown/closed ids are ignored.
+  void SetIdleExempt(std::uint64_t conn_id, bool exempt);
+
   /// Closes `conn_id` after its pending responses flush (bounded by the
   /// drain in the destructor / DrainWrites).
   void CloseAfterFlush(std::uint64_t conn_id);
@@ -120,6 +129,8 @@ class Server {
     WriteBuffer writes;
     Stopwatch last_activity;
     bool close_after_flush = false;
+    /// See SetIdleExempt: true while the caller owes this peer a response.
+    bool idle_exempt = false;
   };
 
   Server(ServerOptions options, ServerCallbacks callbacks, int listen_fd,

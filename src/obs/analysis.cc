@@ -136,6 +136,9 @@ Result<EventLog> LoadEventLog(const std::string& path) {
       job.racers = GetInt(line, "racers");
       job.winner_margin = GetInt(line, "winner_margin");
       job.cache_hit = GetBool(line, "cache_hit");
+      job.seq = seq_field != nullptr && seq_field->is_number()
+                    ? static_cast<std::int64_t>(seq_field->AsDouble())
+                    : -1;
       log.jobs.push_back(std::move(job));
     } else if (event == "job_start") {
       JobStartRecord start;
@@ -188,6 +191,35 @@ Result<EventLog> LoadEventLog(const std::string& path) {
                       ? static_cast<std::int64_t>(seq_field->AsDouble())
                       : -1;
       log.bounds.push_back(std::move(bound));
+    } else if (event == "breaker_transition") {
+      BreakerTransitionRecord transition;
+      transition.backend = GetString(line, "backend");
+      transition.from = GetString(line, "from");
+      transition.to = GetString(line, "to");
+      transition.consecutive_failures = GetInt(line, "consecutive_failures");
+      transition.cooldown = GetInt(line, "cooldown");
+      transition.seq = seq_field != nullptr && seq_field->is_number()
+                           ? static_cast<std::int64_t>(seq_field->AsDouble())
+                           : -1;
+      log.breaker_transitions.push_back(std::move(transition));
+    } else if (event == "watchdog_kill") {
+      WatchdogKillRecord kill;
+      kill.job = GetInt(line, "job");
+      kill.backend = GetString(line, "backend");
+      kill.attempt = GetInt(line, "attempt");
+      kill.heartbeats = GetInt(line, "heartbeats");
+      kill.seq = seq_field != nullptr && seq_field->is_number()
+                     ? static_cast<std::int64_t>(seq_field->AsDouble())
+                     : -1;
+      log.watchdog_kills.push_back(std::move(kill));
+    } else if (event == "admission_shed") {
+      ShedRecord shed;
+      shed.label = GetString(line, "label");
+      shed.reason = GetString(line, "reason");
+      shed.seq = seq_field != nullptr && seq_field->is_number()
+                     ? static_cast<std::int64_t>(seq_field->AsDouble())
+                     : -1;
+      log.sheds.push_back(std::move(shed));
     } else if (event == "job_replayed") {
       log.replayed_labels.push_back(GetString(line, "label"));
     } else if (event == "job_retry") {
@@ -385,6 +417,115 @@ std::string FormatSloReport(const EventLog& log, double slo_ms) {
         100.0 * static_cast<double>(total_ok) / static_cast<double>(total);
     out += "  overall: ok=" + std::to_string(total_ok) + "/" +
            std::to_string(total) + " compliance=" + FormatMs(pct) + "%\n";
+  }
+  return out;
+}
+
+Status ValidateHealthEvents(const EventLog& log) {
+  // Replay every backend's transition stream against the legal edge set.
+  // "from" must match the replayed state so a dropped line is caught even
+  // when the remaining edges happen to chain legally.
+  static const std::set<std::pair<std::string, std::string>> kLegalEdges = {
+      {"closed", "open"},
+      {"open", "half_open"},
+      {"half_open", "closed"},
+      {"half_open", "open"},
+  };
+  std::map<std::string, std::string> state;  // backend -> replayed state
+  for (std::size_t i = 0; i < log.breaker_transitions.size(); ++i) {
+    const BreakerTransitionRecord& transition = log.breaker_transitions[i];
+    if (transition.backend.empty()) {
+      return Status::InvalidArgument("breaker transition " +
+                                     std::to_string(i + 1) +
+                                     " is missing its backend");
+    }
+    auto replayed = state.emplace(transition.backend, "closed").first;
+    if (transition.from != replayed->second) {
+      return Status::InvalidArgument(
+          "breaker '" + transition.backend + "' transition " +
+          std::to_string(i + 1) + " claims from=" + transition.from +
+          " but the replayed state is " + replayed->second);
+    }
+    if (kLegalEdges.find({transition.from, transition.to}) ==
+        kLegalEdges.end()) {
+      return Status::InvalidArgument(
+          "breaker '" + transition.backend + "' transition " +
+          std::to_string(i + 1) + " takes an illegal edge " + transition.from +
+          "->" + transition.to +
+          (transition.from == "open" && transition.to == "closed"
+               ? " (a breaker must recover through half_open)"
+               : ""));
+    }
+    replayed->second = transition.to;
+  }
+
+  // A watchdog kill for a job must be sequenced before that job's job_end:
+  // the scheduler emits the kill before the attempt can fail over and the
+  // job merge a response. Jobs without a job_end (log truncated mid-run)
+  // pass vacuously, as do lines without envelope seq stamps.
+  std::map<std::int64_t, std::int64_t> job_end_seq;
+  for (const JobRecord& job : log.jobs) {
+    if (job.seq >= 0) {
+      job_end_seq.emplace(job.job, job.seq);
+    }
+  }
+  for (const WatchdogKillRecord& kill : log.watchdog_kills) {
+    if (kill.seq < 0) {
+      continue;
+    }
+    const auto end = job_end_seq.find(kill.job);
+    if (end != job_end_seq.end() && kill.seq > end->second) {
+      return Status::InvalidArgument(
+          "watchdog kill for job " + std::to_string(kill.job) + " (seq " +
+          std::to_string(kill.seq) + ") is sequenced after its job_end (seq " +
+          std::to_string(end->second) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatHealthReport(const EventLog& log) {
+  std::string out = "health report\n";
+
+  out += "breaker transitions, per backend\n";
+  // backend -> edge ("from->to") -> count; both keys sort lexicographically.
+  std::map<std::string, std::map<std::string, std::int64_t>> edges;
+  for (const BreakerTransitionRecord& transition : log.breaker_transitions) {
+    ++edges[transition.backend][transition.from + "->" + transition.to];
+  }
+  for (const auto& [backend, counts] : edges) {
+    out += "  " + backend + ":";
+    for (const auto& [edge, count] : counts) {
+      out += " " + edge + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  if (edges.empty()) {
+    out += "  (no breaker transitions)\n";
+  }
+
+  out += "watchdog kills, per backend\n";
+  std::map<std::string, std::int64_t> kills;
+  for (const WatchdogKillRecord& kill : log.watchdog_kills) {
+    ++kills[kill.backend];
+  }
+  for (const auto& [backend, count] : kills) {
+    out += "  " + backend + ": kills=" + std::to_string(count) + "\n";
+  }
+  if (kills.empty()) {
+    out += "  (no watchdog kills)\n";
+  }
+
+  out += "admission sheds, per reason\n";
+  std::map<std::string, std::int64_t> reasons;
+  for (const ShedRecord& shed : log.sheds) {
+    ++reasons[shed.reason];
+  }
+  for (const auto& [reason, count] : reasons) {
+    out += "  " + reason + ": " + std::to_string(count) + "\n";
+  }
+  if (reasons.empty()) {
+    out += "  (no sheds)\n";
   }
   return out;
 }

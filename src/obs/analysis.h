@@ -37,6 +37,33 @@ struct JobRecord {
   std::int64_t racers = 0;        ///< portfolio width (0 on pre-PR7 logs)
   std::int64_t winner_margin = 0; ///< winner size minus best losing racer
   bool cache_hit = false;
+  std::int64_t seq = -1;  ///< envelope sequence number; -1 when absent
+};
+
+/// One circuit-breaker state transition (a breaker_transition line).
+struct BreakerTransitionRecord {
+  std::string backend;
+  std::string from;  ///< "closed" | "half_open" | "open"
+  std::string to;
+  std::int64_t consecutive_failures = 0;
+  std::int64_t cooldown = 0;  ///< consults charged for the next probe
+  std::int64_t seq = -1;
+};
+
+/// One wedged-job watchdog kill (a watchdog_kill line).
+struct WatchdogKillRecord {
+  std::int64_t job = 0;
+  std::string backend;
+  std::int64_t attempt = 0;
+  std::int64_t heartbeats = 0;  ///< cancel-poll count at kill time
+  std::int64_t seq = -1;
+};
+
+/// One shed admission decision (an admission_shed line).
+struct ShedRecord {
+  std::string label;
+  std::string reason;  ///< "backlog_full" | "queue_delay"
+  std::int64_t seq = -1;
 };
 
 /// One admitted job (a job_start line), carrying the instance shape.
@@ -83,6 +110,9 @@ struct EventLog {
   std::vector<JobStartRecord> job_starts;
   std::vector<IncumbentRecord> incumbents;
   std::vector<BoundRecord> bounds;
+  std::vector<BreakerTransitionRecord> breaker_transitions;
+  std::vector<WatchdogKillRecord> watchdog_kills;
+  std::vector<ShedRecord> sheds;
   std::vector<std::string> replayed_labels;  ///< job_replayed (WAL replays)
   std::int64_t retries = 0;
   std::int64_t fallbacks = 0;
@@ -144,6 +174,23 @@ std::string FormatLatencyReport(const EventLog& log);
 
 /// SLO compliance per backend against `slo_ms` (admission-to-merge latency).
 std::string FormatSloReport(const EventLog& log, double slo_ms);
+
+/// Health-subsystem invariants (DESIGN.md section 15), checked on every
+/// analyzer run:
+///   - breaker transitions per backend replay as a legal walk of the state
+///     machine from closed: closed->open, open->half_open,
+///     half_open->closed, half_open->open, with each line's "from" matching
+///     the replayed state (no open->closed without a half_open probe);
+///   - no watchdog kill is sequenced after its job's job_end line (the
+///     scheduler emits the kill before the job can merge a response).
+/// Pre-health logs (no such events) pass vacuously.
+Status ValidateHealthEvents(const EventLog& log);
+
+/// Deterministic health summary: breaker transition counts per backend and
+/// edge, watchdog kills per backend, sheds per reason. Counts only — no
+/// timestamps or durations — so two same-seed single-worker chaos runs
+/// render byte-identically and CI can diff them.
+std::string FormatHealthReport(const EventLog& log);
 
 }  // namespace qplex::obs
 

@@ -86,7 +86,9 @@
 #include "qubo/qubo_model.h"
 #include "relax/club.h"
 #include "relax/club_oracle.h"
+#include "resilience/breaker.h"
 #include "resilience/fault_injection.h"
+#include "resilience/health.h"
 #include "resilience/retry.h"
 #include "net/frame.h"
 #include "net/io.h"

@@ -9,7 +9,8 @@ namespace qplex::resilience {
 namespace {
 
 constexpr std::string_view kSiteNames[kNumFaultSites] = {
-    "alloc", "solver_throw", "solver_slow", "io_read", "cache_insert"};
+    "alloc",      "solver_throw", "solver_slow",
+    "io_read",    "cache_insert", "solver_stall"};
 
 /// SplitMix64 finalizer: maps (seed, call index) to a uniform 64-bit hash so
 /// probability triggers are deterministic per call index, independent of how

@@ -24,12 +24,16 @@ enum class FaultSite : int {
   kSolverSlow,      ///< scheduler worker: backend stalls ~25 ms
   kIoRead,          ///< graph/io.cc file read
   kCacheInsert,     ///< svc result-cache insert dropped
+  kSolverStall,     ///< scheduler worker: backend wedges (no heartbeat) until
+                    ///< cancelled or the deadline expires — virtual-time
+                    ///< stall for watchdog tests, not a fixed sleep
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 /// Stable lowercase name used in --fault-spec and metrics
-/// ("alloc", "solver_throw", "solver_slow", "io_read", "cache_insert").
+/// ("alloc", "solver_throw", "solver_slow", "io_read", "cache_insert",
+/// "solver_stall").
 std::string_view FaultSiteName(FaultSite site);
 
 /// Parses a site name; unknown names are an InvalidArgument listing the

@@ -76,13 +76,31 @@ Result<RequestSpec> ParseRequestLine(const std::string& text,
                                    std::to_string(line_number));
   }
   RequestSpec spec;
-  QPLEX_ASSIGN_OR_RETURN(spec.request.graph,
-                         LoadRequestGraph(line, line_number));
   spec.request.label = "line-" + std::to_string(line_number);
   if (const obs::JsonValue* id = line.Find("id"); id != nullptr) {
     spec.request.label =
         id->is_string() ? id->AsString() : std::to_string(id->AsInt());
   }
+  if (const obs::JsonValue* type = line.Find("type"); type != nullptr) {
+    if (!type->is_string()) {
+      return Status::InvalidArgument("type must be a string at line " +
+                                     std::to_string(line_number));
+    }
+    const std::string& name = type->AsString();
+    if (name == "health") {
+      // Health probes carry no instance; everything else on the line is
+      // ignored so clients can tag them freely.
+      spec.kind = RequestKind::kHealth;
+      return spec;
+    }
+    if (name != "solve") {
+      return Status::InvalidArgument("unknown request type '" + name +
+                                     "' at line " +
+                                     std::to_string(line_number));
+    }
+  }
+  QPLEX_ASSIGN_OR_RETURN(spec.request.graph,
+                         LoadRequestGraph(line, line_number));
   if (const obs::JsonValue* k = line.Find("k"); k != nullptr) {
     spec.request.k = static_cast<int>(k->AsInt());
   }

@@ -23,8 +23,16 @@
 
 namespace qplex::svc {
 
+/// What a request line asks for. Solve lines carry a graph and run through
+/// the scheduler; health lines ({"type": "health", "id": ...}) are answered
+/// in place by the socket front-end with breaker/queue/shed state and are
+/// rejected in batch mode, whose journal byte-identity contract
+/// (record/replay, --resume) has no room for load-dependent lines.
+enum class RequestKind { kSolve, kHealth };
+
 /// One parsed request line: the scheduler request plus the racer list.
 struct RequestSpec {
+  RequestKind kind = RequestKind::kSolve;
   SolveRequest request;
   std::vector<std::string> backends;  ///< empty = single request.backend
 };

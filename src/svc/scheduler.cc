@@ -56,6 +56,16 @@ JobScheduler::JobScheduler(const SolverRegistry* registry,
   if (options_.enable_cache) {
     cache_ = std::make_unique<InstanceCache>(options_.cache_capacity);
   }
+  if (options_.enable_breakers && options_.breaker.failure_threshold > 0) {
+    breakers_ = std::make_unique<resilience::BreakerBoard>(options_.breaker);
+  }
+  if (options_.watchdog_stall_ms > 0) {
+    options_.watchdog_poll_ms = std::max(1.0, options_.watchdog_poll_ms);
+    obs::MetricsRegistry::Global()
+        .GetGauge("svc.watchdog.stall_budget_ms")
+        .Set(options_.watchdog_stall_ms);
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
   // One long-lived WorkerLoop task per worker, hosted on the shared
   // ThreadPool primitive. The dispatcher thread exists only to be the
   // batch's blocking caller; it participates in the batch like any worker.
@@ -73,6 +83,12 @@ JobScheduler::~JobScheduler() {
   work_cv_.notify_all();
   if (dispatcher_.joinable()) {
     dispatcher_.join();
+  }
+  // The watchdog outlives the workers so a wedged execution can still be
+  // released during drain; by this point every watch entry is unregistered.
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_thread_.joinable()) {
+    watchdog_thread_.join();
   }
 }
 
@@ -216,6 +232,107 @@ void JobScheduler::Cancel(JobId id) {
 std::size_t JobScheduler::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::vector<resilience::BreakerSnapshot> JobScheduler::BreakerSnapshots()
+    const {
+  if (breakers_ == nullptr) {
+    return {};
+  }
+  return breakers_->Snapshots();
+}
+
+int JobScheduler::OpenBreakerCount() const {
+  if (breakers_ == nullptr) {
+    return 0;
+  }
+  return breakers_->OpenCount();
+}
+
+std::int64_t JobScheduler::WatchdogKills() const {
+  return watchdog_kills_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t JobScheduler::RegisterWatch(Job& job, const std::string& backend,
+                                          int attempt,
+                                          CancelToken* attempt_cancel) {
+  if (options_.watchdog_stall_ms <= 0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(watch_mutex_);
+  const std::uint64_t id = next_watch_id_++;
+  WatchEntry& entry = watches_[id];
+  entry.job_id = job.id;
+  entry.label = job.request.label;
+  entry.backend = backend;
+  entry.attempt = attempt;
+  entry.attempt_cancel = attempt_cancel;
+  entry.last_polls = attempt_cancel->polls();
+  return id;
+}
+
+bool JobScheduler::UnregisterWatch(std::uint64_t watch_id) {
+  if (watch_id == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(watch_mutex_);
+  const auto it = watches_.find(watch_id);
+  if (it == watches_.end()) {
+    return false;
+  }
+  const bool killed = it->second.killed;
+  watches_.erase(it);
+  return killed;
+}
+
+void JobScheduler::WatchdogLoop() {
+  auto& registry = obs::MetricsRegistry::Global();
+  Stopwatch since_scan;
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options_.watchdog_poll_ms));
+    const double elapsed_ms = since_scan.ElapsedMillis();
+    since_scan.Restart();
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (auto& [id, entry] : watches_) {
+      if (entry.killed) {
+        continue;
+      }
+      const std::uint64_t polls = entry.attempt_cancel->polls();
+      if (polls != entry.last_polls) {
+        entry.last_polls = polls;
+        entry.stalled_ms = 0;
+        continue;
+      }
+      entry.stalled_ms += elapsed_ms;
+      if (entry.stalled_ms < options_.watchdog_stall_ms) {
+        continue;
+      }
+      entry.killed = true;
+      watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("svc.watchdog.kills").Increment();
+      registry.GetCounter("svc.watchdog." + entry.backend + ".kills")
+          .Increment();
+      if (obs::EventsEnabled()) {
+        registry.GetCounter("svc.events.payloads_built").Increment();
+        // Emitted before Cancel() below, while the wedged execution is still
+        // blocked: the kill event therefore always precedes the job's
+        // job_end, the ordering qplex_obs validates. Fields are configured
+        // budgets and counts only — nothing wall-clock-derived — so
+        // single-worker chaos runs replay byte-identically.
+        obs::EmitEvent(
+            obs::EventLevel::kWarn, "svc", "watchdog_kill",
+            {{"trace",
+              obs::IdHex(obs::DeriveTraceId(entry.label, entry.job_id))},
+             {"job", static_cast<std::int64_t>(entry.job_id)},
+             {"backend", entry.backend},
+             {"attempt", entry.attempt},
+             {"stall_budget_ms", options_.watchdog_stall_ms},
+             {"heartbeats", static_cast<std::int64_t>(polls)}});
+      }
+      entry.attempt_cancel->Cancel();
+    }
+  }
 }
 
 void JobScheduler::WorkerLoop(int worker) {
@@ -430,20 +547,25 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
   }
 
   Stopwatch watch;
-  Result<SolveOutcome> outcome = Status::Internal("unreached");
+  Execution execution;
   {
     std::optional<obs::RequestScope> solve_scope;
     if (attempt_span != nullptr) {
       solve_scope.emplace(obs::ChildSpan(*attempt_span, "solve"));
     }
-    outcome = GuardedSolve(job, backend);
+    execution = ExecuteGuarded(job, backend, attempt);
   }
+  Result<SolveOutcome>& outcome = execution.outcome;
   response.metrics.wall_seconds = watch.ElapsedSeconds();
   registry.GetHistogram("svc.job_wall_seconds")
       .Record(response.metrics.wall_seconds);
 
   if (!outcome.ok()) {
-    registry.GetCounter("svc.backend." + backend + ".failures").Increment();
+    if (!execution.short_circuited) {
+      // A breaker short-circuit never ran the backend, so it is not a
+      // backend failure — the breaker's own counters account for it.
+      registry.GetCounter("svc.backend." + backend + ".failures").Increment();
+    }
     if (resilience::ClassifyFailure(outcome.status().code()) ==
         resilience::FailureClass::kDegradable) {
       return RunFallbackChain(job, backend, std::move(response),
@@ -468,8 +590,61 @@ SolveResponse JobScheduler::RunBackend(Job& job, const std::string& backend,
   return response;
 }
 
+JobScheduler::Execution JobScheduler::ExecuteGuarded(Job& job,
+                                                     const std::string& backend,
+                                                     int attempt) {
+  Execution execution;
+  resilience::CircuitBreaker* breaker =
+      breakers_ != nullptr ? breakers_->Get(backend) : nullptr;
+  if (breaker != nullptr &&
+      breaker->Consult() ==
+          resilience::CircuitBreaker::Decision::kShortCircuit) {
+    execution.short_circuited = true;
+    execution.outcome = Status::ResourceExhausted(
+        "circuit breaker open for backend " + backend +
+        "; skipping execution");
+    return execution;
+  }
+  // Attempt-scoped cancellation chained under the job token: the watchdog
+  // cancels just this execution (fallback still runs with the job's
+  // remaining budget), while portfolio/job-level Cancel() reaches the
+  // backend through the parent link.
+  CancelToken attempt_cancel;
+  attempt_cancel.LinkParent(&job.cancel);
+  const std::uint64_t watch_id =
+      RegisterWatch(job, backend, attempt, &attempt_cancel);
+  execution.outcome = GuardedSolve(job, backend, attempt_cancel);
+  execution.watchdog_killed = UnregisterWatch(watch_id);
+  if (execution.watchdog_killed) {
+    // Degradable by design: kResourceExhausted sends the caller down the
+    // fallback chain. The message carries only the configured budget, so
+    // journal bytes stay deterministic.
+    execution.outcome = Status::ResourceExhausted(
+        "watchdog cancelled backend " + backend +
+        ": no heartbeat progress within " +
+        std::to_string(static_cast<long long>(options_.watchdog_stall_ms)) +
+        " ms stall budget");
+  }
+  if (breaker != nullptr) {
+    if (execution.watchdog_killed) {
+      // A wedge is a backend-health failure even though its status code
+      // (kResourceExhausted) would not normally count.
+      breaker->RecordFailure();
+    } else if (execution.outcome.ok()) {
+      breaker->RecordSuccess();
+    } else if (resilience::BreakerCountsFailure(
+                   execution.outcome.status().code())) {
+      breaker->RecordFailure();
+    } else {
+      breaker->RecordNeutral();
+    }
+  }
+  return execution;
+}
+
 Result<SolveOutcome> JobScheduler::GuardedSolve(Job& job,
-                                                const std::string& backend) {
+                                                const std::string& backend,
+                                                CancelToken& attempt_cancel) {
   auto& registry = obs::MetricsRegistry::Global();
   try {
     if (resilience::FaultFires(resilience::FaultSite::kSolverThrow)) {
@@ -478,11 +653,24 @@ Result<SolveOutcome> JobScheduler::GuardedSolve(Job& job,
     if (resilience::FaultFires(resilience::FaultSite::kSolverSlow)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(25));
     }
+    if (resilience::FaultFires(resilience::FaultSite::kSolverStall)) {
+      // Deterministic wedge: hold the execution without one heartbeat until
+      // the watchdog (or a job-level cancel / the deadline) releases it.
+      // Direct Cancelled() reads keep the poll counter frozen — in virtual
+      // time this backend has stopped making progress, however briefly the
+      // wall-clock wait lasts.
+      while (!attempt_cancel.Cancelled() && !job.deadline.Expired()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      SolveOutcome stalled;
+      stalled.completed = false;
+      return stalled;
+    }
     SolveContext context;
     const double remaining = job.deadline.RemainingSeconds();
     context.budget_seconds =
         std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
-    context.cancel = &job.cancel;
+    context.cancel = &attempt_cancel;
     return registry_->Get(backend)->Solve(job.request, context);
   } catch (const std::exception& e) {
     registry.GetCounter("svc.backend." + backend + ".exceptions").Increment();
@@ -533,7 +721,7 @@ SolveResponse JobScheduler::RunFallbackChain(Job& job,
       break;
     }
     Stopwatch watch;
-    Result<SolveOutcome> outcome = Status::Internal("unreached");
+    Execution execution;
     {
       std::optional<obs::RequestScope> hop_scope;
       std::optional<obs::RequestScope> solve_scope;
@@ -541,17 +729,23 @@ SolveResponse JobScheduler::RunFallbackChain(Job& job,
         hop_scope.emplace(obs::ChildSpan(*parent_span, "fallback", current));
         solve_scope.emplace(obs::ChildSpan(hop_scope->context(), "solve"));
       }
-      outcome = GuardedSolve(job, current);
+      execution = ExecuteGuarded(job, current, 1);
     }
+    Result<SolveOutcome>& outcome = execution.outcome;
     response.metrics.wall_seconds += watch.ElapsedSeconds();
     registry.GetHistogram("svc.phase.fallback_wall_ms")
         .Record(watch.ElapsedMillis());
     if (!outcome.ok()) {
       last = outcome.status();
-      registry.GetCounter("svc.backend." + current + ".failures").Increment();
+      if (!execution.short_circuited) {
+        registry.GetCounter("svc.backend." + current + ".failures")
+            .Increment();
+      }
       if (resilience::ClassifyFailure(last.code()) ==
           resilience::FailureClass::kDegradable) {
-        continue;  // the fallback is also over budget: keep walking
+        // Also taken when this hop's breaker is open or its execution was
+        // watchdog-killed: keep walking toward a healthy backend.
+        continue;
       }
       break;
     }

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "resilience/breaker.h"
 #include "resilience/retry.h"
 #include "svc/cache.h"
 #include "svc/registry.h"
@@ -60,6 +62,24 @@ struct JobSchedulerOptions {
   /// (admission-to-merge latency vs the objective) and the objective itself
   /// is published as the svc.slo.objective_ms gauge.
   double slo_latency_ms = 0;
+  /// Per-backend circuit breakers (DESIGN.md section 15). Off by default so
+  /// library users and historical baselines keep exact semantics; the serve
+  /// front-ends enable them with --breaker-threshold. When enabled, every
+  /// backend execution consults its breaker first: an open breaker
+  /// short-circuits the execution with kResourceExhausted, which the
+  /// degradable-failure path turns into a fallback-chain walk — so a serially
+  /// failing backend is skipped across requests, not rediscovered by each
+  /// one.
+  bool enable_breakers = false;
+  resilience::BreakerOptions breaker;
+  /// Wedged-job watchdog stall budget in milliseconds; 0 disables. Progress
+  /// is measured on a work axis — CancelToken heartbeat polls from the
+  /// running backend — so a backend that computes without polling for longer
+  /// than the budget is cancelled (attempt-scoped; the job survives),
+  /// classified degradable, and falls back well before the job deadline.
+  double watchdog_stall_ms = 0;
+  /// Watchdog scan cadence in milliseconds (>= 1 when the watchdog is on).
+  double watchdog_poll_ms = 5;
 };
 
 using JobId = std::int64_t;
@@ -91,6 +111,12 @@ using JobId = std::int64_t;
 /// backoff on a different worker, up to the per-job retry budget;
 /// kResourceExhausted walks the registry fallback chain (qtkp→bs, qmkp→bs,
 /// milp→grasp) and surfaces the degradation trail in the response.
+///
+/// Health (DESIGN.md section 15): with enable_breakers, per-backend circuit
+/// breakers remember failures across jobs and short-circuit a serially
+/// failing backend straight onto its fallback chain; with a watchdog stall
+/// budget, a wedged execution (no CancelToken heartbeat) is cancelled
+/// attempt-scoped and degrades the same way.
 class JobScheduler {
  public:
   /// `registry` must outlive the scheduler.
@@ -133,8 +159,20 @@ class JobScheduler {
   /// Queued backend executions not yet picked up (diagnostic).
   std::size_t QueueDepth() const;
 
+  /// Snapshots of every circuit breaker consulted so far (empty when
+  /// breakers are disabled), sorted by backend name; feeds the serve health
+  /// response.
+  std::vector<resilience::BreakerSnapshot> BreakerSnapshots() const;
+
+  /// Breakers currently open (0 when disabled).
+  int OpenBreakerCount() const;
+
+  /// Backend executions cancelled by the wedged-job watchdog so far.
+  std::int64_t WatchdogKills() const;
+
   int num_workers() const { return options_.num_workers; }
   bool cache_enabled() const { return cache_ != nullptr; }
+  bool breakers_enabled() const { return breakers_ != nullptr; }
 
  private:
   struct Job {
@@ -172,17 +210,53 @@ class JobScheduler {
     int excluded_worker = -1;
   };
 
+  /// One backend execution watched by the wedged-job watchdog. Registered
+  /// for exactly the duration of the GuardedSolve call; the watchdog thread
+  /// cancels `attempt_cancel` (never the job token) when the heartbeat stops
+  /// advancing for the stall budget.
+  struct WatchEntry {
+    JobId job_id = 0;
+    std::string label;
+    std::string backend;
+    int attempt = 1;
+    CancelToken* attempt_cancel = nullptr;
+    std::uint64_t last_polls = 0;
+    double stalled_ms = 0;
+    bool killed = false;
+  };
+
+  /// Outcome of one guarded, breaker-consulted, watchdog-monitored backend
+  /// execution.
+  struct Execution {
+    Result<SolveOutcome> outcome = Status::Internal("unreached");
+    bool watchdog_killed = false;
+    bool short_circuited = false;  ///< breaker open: backend never ran
+  };
+
   Result<JobId> Enqueue(SolveRequest request,
                         std::vector<std::string> backends);
   void WorkerLoop(int worker);
   void Execute(const SubTask& task, int worker);
   /// Runs one backend (cache-aware); never blocks on other jobs.
   SolveResponse RunBackend(Job& job, const std::string& backend, int attempt);
+  /// Consults the backend's circuit breaker, runs GuardedSolve under an
+  /// attempt-scoped CancelToken registered with the watchdog, converts a
+  /// watchdog kill into a degradable kResourceExhausted, and records the
+  /// outcome back into the breaker. The shared entry point for first
+  /// executions and fallback hops.
+  Execution ExecuteGuarded(Job& job, const std::string& backend, int attempt);
   /// Executes one backend behind the catch-all exception barrier (plus the
-  /// solver_throw/solver_slow fault-injection sites): a throwing backend
-  /// becomes Status::Internal naming the backend and what(), never a
-  /// process death.
-  Result<SolveOutcome> GuardedSolve(Job& job, const std::string& backend);
+  /// solver_throw/solver_slow/solver_stall fault-injection sites): a
+  /// throwing backend becomes Status::Internal naming the backend and
+  /// what(), never a process death.
+  Result<SolveOutcome> GuardedSolve(Job& job, const std::string& backend,
+                                    CancelToken& attempt_cancel);
+  /// Watchdog bookkeeping: returns 0 when the watchdog is disabled.
+  std::uint64_t RegisterWatch(Job& job, const std::string& backend,
+                              int attempt, CancelToken* attempt_cancel);
+  /// Removes the entry and reports whether the watchdog killed it.
+  bool UnregisterWatch(std::uint64_t watch_id);
+  void WatchdogLoop();
   /// Walks the registry fallback chain after `backend` failed with
   /// kResourceExhausted; fills the degradation trail in `response`.
   SolveResponse RunFallbackChain(Job& job, const std::string& backend,
@@ -200,6 +274,7 @@ class JobScheduler {
   const SolverRegistry* registry_;
   JobSchedulerOptions options_;
   std::unique_ptr<InstanceCache> cache_;
+  std::unique_ptr<resilience::BreakerBoard> breakers_;
 
   ThreadPool pool_;
   /// Runs pool_.Run with one long-lived WorkerLoop task per worker; joined
@@ -212,6 +287,16 @@ class JobScheduler {
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
   JobId next_id_ = 1;
   bool shutdown_ = false;
+
+  /// Watchdog state. watch_mutex_ guards watches_; the watchdog thread emits
+  /// its kill event and cancels the attempt token while holding it, so a
+  /// kill event always precedes the killed job's job_end in the stream.
+  std::thread watchdog_thread_;
+  std::atomic<bool> watchdog_stop_{false};
+  mutable std::mutex watch_mutex_;
+  std::map<std::uint64_t, WatchEntry> watches_;
+  std::uint64_t next_watch_id_ = 1;
+  std::atomic<std::int64_t> watchdog_kills_{0};
 };
 
 }  // namespace qplex::svc

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -14,6 +16,8 @@
 #include "common/status.h"
 #include "net/frame.h"
 #include "net/io.h"
+#include "net/server.h"
+#include "obs/metrics.h"
 
 namespace qplex::net {
 namespace {
@@ -242,6 +246,136 @@ TEST(IoTest, ListenLoopbackReportsKernelAssignedPort) {
   CloseFd(client.value());
   CloseFd(server_fd);
   CloseFd(listener.value());
+}
+
+// --- Idle-timeout vs in-flight work (DESIGN.md section 15) -------------------
+//
+// The idle timer measures inbound silence only. A connection whose request
+// was admitted to the scheduler (pinned via SetIdleExempt) or whose response
+// bytes are still queued must never be closed as "idle" — otherwise the
+// answer the peer is legitimately waiting for would be dropped.
+
+/// Harness for Server-level tests: tracks lines and closes seen by the
+/// callbacks, and runs bounded Poll() loops.
+struct ServerHarness {
+  explicit ServerHarness(ServerOptions options) {
+    ServerCallbacks callbacks;
+    callbacks.on_line = [this](std::uint64_t conn_id, std::string line) {
+      last_conn = conn_id;
+      lines.push_back(std::move(line));
+    };
+    callbacks.on_close = [this](std::uint64_t conn_id) {
+      closed.push_back(conn_id);
+    };
+    callbacks.on_protocol_error = [](std::uint64_t, const Status&) {};
+    Result<std::unique_ptr<Server>> created =
+        Server::Create(std::move(options), std::move(callbacks));
+    QPLEX_CHECK(created.ok()) << created.status().ToString();
+    server = std::move(created).value();
+  }
+
+  /// Polls for ~`total_ms` of wall time in small slices.
+  void PollFor(int total_ms) {
+    for (int elapsed = 0; elapsed < total_ms; elapsed += 5) {
+      QPLEX_CHECK(server->Poll(5).ok());
+    }
+  }
+
+  std::unique_ptr<Server> server;
+  std::vector<std::string> lines;
+  std::vector<std::uint64_t> closed;
+  std::uint64_t last_conn = 0;
+};
+
+std::int64_t NetCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).Get();
+}
+
+TEST(ServerIdleTest, PinnedConnectionSurvivesIdleTimeoutUntilUnpinned) {
+  ServerOptions options;
+  options.idle_timeout_ms = 40;
+  ServerHarness harness(options);
+
+  Result<int> client = ConnectLoopback(harness.server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(SetNonBlocking(client.value()).ok());
+  const std::string request = "{\"label\":\"pinned\"}\n";
+  ASSERT_EQ(WriteFd(client.value(), request.data(), request.size()).state,
+            IoState::kOk);
+  while (harness.lines.empty()) {
+    harness.PollFor(5);
+  }
+  // The front-end admitted the request: pin the connection the way the
+  // serve loop does while its outstanding-job count is non-zero.
+  harness.server->SetIdleExempt(harness.last_conn, true);
+
+  // Inbound silence for 4x the idle budget: the pinned connection — write
+  // buffer empty, nothing readable — must survive.
+  harness.PollFor(160);
+  EXPECT_EQ(harness.server->active_connections(), 1u);
+  EXPECT_TRUE(harness.closed.empty());
+
+  // The job completes: the response goes out and the pin comes off. Only
+  // now does the idle clock matter again — with no further inbound traffic
+  // the connection closes, after the response flushed.
+  harness.server->Send(harness.last_conn, "{\"status\":\"OK\"}\n");
+  harness.server->SetIdleExempt(harness.last_conn, false);
+  for (int i = 0; i < 200 && harness.closed.empty(); ++i) {
+    harness.PollFor(5);
+  }
+  ASSERT_EQ(harness.closed.size(), 1u);
+  EXPECT_EQ(harness.closed[0], harness.last_conn);
+  const std::string delivered = DrainFd(client.value());
+  EXPECT_NE(delivered.find("\"status\":\"OK\""), std::string::npos)
+      << "idle close must not drop the flushed response";
+  CloseFd(client.value());
+}
+
+TEST(ServerIdleTest, QueuedWriteBytesSpareAnIdleConnection) {
+  ServerOptions options;
+  options.idle_timeout_ms = 40;
+  options.max_write_buffer_bytes = 64u << 20;  // do not trip the slow-reader cap
+  ServerHarness harness(options);
+
+  Result<int> client = ConnectLoopback(harness.server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(SetNonBlocking(client.value()).ok());
+  const std::string request = "{\"label\":\"slow-reader\"}\n";
+  ASSERT_EQ(WriteFd(client.value(), request.data(), request.size()).state,
+            IoState::kOk);
+  while (harness.lines.empty()) {
+    harness.PollFor(5);
+  }
+
+  // Respond with more than the kernel socket buffer will take while the
+  // client is not reading: flushes stay partial and queued bytes remain.
+  const std::string big(8u << 20, 'x');
+  harness.server->Send(harness.last_conn, big + "\n");
+  const std::int64_t spared_before = NetCounter("net.connections.idle_spared");
+  harness.PollFor(160);  // 4x the idle budget with zero inbound traffic
+  ASSERT_TRUE(harness.server->has_queued_writes())
+      << "precondition: the un-read response must still be queued";
+  EXPECT_EQ(harness.server->active_connections(), 1u);
+  EXPECT_TRUE(harness.closed.empty())
+      << "a connection still owed queued response bytes was closed as idle";
+  EXPECT_GT(NetCounter("net.connections.idle_spared"), spared_before);
+
+  // The client drains everything; with the buffer empty and no pin, the
+  // idle close finally proceeds — and the peer got every byte first.
+  std::string delivered;
+  while (harness.closed.empty()) {
+    delivered += DrainFd(client.value());
+    harness.PollFor(5);
+  }
+  while (true) {
+    const std::string tail = DrainFd(client.value());
+    if (tail.empty()) {
+      break;
+    }
+    delivered += tail;
+  }
+  EXPECT_EQ(delivered.size(), big.size() + 1);
+  CloseFd(client.value());
 }
 
 }  // namespace

@@ -293,6 +293,66 @@ TEST(ServeSocketTest, MalformedLineEarnsErrorAndConnectionSurvives) {
   EXPECT_EQ(serve.Stop(), 0);
 }
 
+TEST(ServeSocketTest, HealthRequestAnsweredInPlaceAndNeverJournaled) {
+  const std::filesystem::path dir = TempDir("health");
+  ServeProcess serve(dir, "--breaker-threshold 2 --breaker-cooldown 4");
+  ASSERT_GT(serve.port(), 0) << ReadFile(dir / "serve.err");
+
+  Result<int> fd = net::ConnectLoopback(serve.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  net::FrameSplitter splitter;
+
+  // A health probe is answered immediately, in place — no graph, no
+  // admission, no scheduler round-trip.
+  ASSERT_TRUE(SendAll(fd.value(), "{\"id\":\"hc-1\",\"type\":\"health\"}\n").ok());
+  Result<std::string> health = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(health.ok()) << health.status();
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(health.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("label")->AsString(), "hc-1");
+  EXPECT_EQ(parsed.value().Find("status")->AsString(), "OK");
+  EXPECT_EQ(parsed.value().Find("type")->AsString(), "health");
+  EXPECT_EQ(parsed.value().Find("draining")->AsBool(), false);
+  EXPECT_EQ(parsed.value().Find("breakers_enabled")->AsBool(), true);
+  EXPECT_EQ(parsed.value().Find("open_breakers")->AsInt(), 0);
+  EXPECT_EQ(parsed.value().Find("watchdog_kills")->AsInt(), 0);
+  ASSERT_NE(parsed.value().Find("breakers"), nullptr);
+
+  // A real solve on the same connection still works, and a follow-up probe
+  // reflects it in the served-request counters.
+  ASSERT_TRUE(
+      SendAll(fd.value(), std::string("{\"id\":\"solve-1\",\"k\":2,"
+                                      "\"backend\":\"bs\",\"graph\":") +
+                              kBlockGraph + "}\n")
+          .ok());
+  Result<std::string> response = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(response.ok()) << response.status();
+  parsed = obs::JsonValue::Parse(response.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("label")->AsString(), "solve-1");
+  EXPECT_EQ(parsed.value().Find("status")->AsString(), "OK");
+  EXPECT_EQ(parsed.value().Find("size")->AsInt(), 4);
+
+  ASSERT_TRUE(SendAll(fd.value(), "{\"id\":\"hc-2\",\"type\":\"health\"}\n").ok());
+  Result<std::string> again = ReadLine(fd.value(), splitter);
+  ASSERT_TRUE(again.ok()) << again.status();
+  parsed = obs::JsonValue::Parse(again.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GE(parsed.value().Find("requests")->AsInt(), 1);
+  EXPECT_GE(parsed.value().Find("responses")->AsInt(), 1);
+  EXPECT_EQ(parsed.value().Find("outstanding")->AsInt(), 0);
+
+  net::CloseFd(fd.value());
+  EXPECT_EQ(serve.Stop(), 0);
+
+  // Health probes are liveness traffic, not jobs: the record/replay journal
+  // carries the solve but neither probe.
+  const std::string journal = ReadFile(dir / "journal.jsonl");
+  EXPECT_NE(journal.find("solve-1"), std::string::npos) << journal;
+  EXPECT_EQ(journal.find("hc-1"), std::string::npos) << journal;
+  EXPECT_EQ(journal.find("hc-2"), std::string::npos) << journal;
+}
+
 TEST(ServeSocketTest, OversizeLineIsRejectedAndConnectionClosed) {
   const std::filesystem::path dir = TempDir("oversize");
   ServeProcess serve(dir, "--max-line-bytes 256");

@@ -733,6 +733,141 @@ TEST_F(SchedulerTest, SecondWaitOnConsumedJobFails) {
             StatusCode::kInvalidArgument);
 }
 
+// --- TryWait: the non-blocking completion probe ------------------------------
+
+/// Holds its execution open until Release(): lets a test pin a job in the
+/// running state and probe TryWait against every lifecycle edge. Polls the
+/// cancel token (heartbeating) so cancellation still releases it.
+class GateSolver : public Solver {
+ public:
+  std::string_view name() const override { return "gate"; }
+  Result<SolveOutcome> Solve(const SolveRequest&,
+                             const SolveContext& context) const override {
+    started_.store(true);
+    bool cancelled = false;
+    while (!released_.load()) {
+      if (context.cancel != nullptr && context.cancel->Poll()) {
+        cancelled = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SolveOutcome outcome;
+    outcome.solution.size = 1;
+    outcome.solution.members = {0};
+    outcome.completed = !cancelled;
+    return outcome;
+  }
+  void Release() { released_.store(true); }
+  bool started() const { return started_.load(); }
+
+ private:
+  mutable std::atomic<bool> started_{false};
+  std::atomic<bool> released_{false};
+};
+
+/// Spins until TryWait consumes the job, with a generous CI bound.
+bool PollTryWait(JobScheduler& scheduler, JobId id, SolveResponse* response) {
+  for (int i = 0; i < 20000; ++i) {
+    if (scheduler.TryWait(id, response)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST_F(SchedulerTest, TryWaitIsNonBlockingWhileRunningAndConsumesWhenDone) {
+  SolverRegistry registry;
+  auto* gate = new GateSolver();
+  ASSERT_TRUE(registry.Register(std::unique_ptr<Solver>(gate)).ok());
+  JobScheduler scheduler(&registry);
+
+  const Result<JobId> id = scheduler.Submit(Request("gate"));
+  ASSERT_TRUE(id.ok()) << id.status();
+  while (!gate->started()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Running: the probe returns false and must not consume or block.
+  SolveResponse response;
+  EXPECT_FALSE(scheduler.TryWait(id.value(), &response));
+  EXPECT_FALSE(scheduler.TryWait(id.value(), &response));
+
+  gate->Release();
+  ASSERT_TRUE(PollTryWait(scheduler, id.value(), &response));
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.solution.size, 1);
+
+  // TryWait consumed the response exactly like Wait: a second probe (and a
+  // blocking Wait) both report the id as already consumed.
+  EXPECT_TRUE(scheduler.TryWait(id.value(), &response));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.Wait(id.value()).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, TryWaitUnknownIdReportsInvalidArgumentImmediately) {
+  JobScheduler scheduler(&registry_);
+  SolveResponse response;
+  EXPECT_TRUE(scheduler.TryWait(424242, &response));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, TryWaitObservesCancellationWithIncumbentAttached) {
+  SolverRegistry registry;
+  auto* gate = new GateSolver();
+  ASSERT_TRUE(registry.Register(std::unique_ptr<Solver>(gate)).ok());
+  JobScheduler scheduler(&registry);
+
+  const Result<JobId> id = scheduler.Submit(Request("gate"));
+  ASSERT_TRUE(id.ok()) << id.status();
+  while (!gate->started()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SolveResponse response;
+  ASSERT_FALSE(scheduler.TryWait(id.value(), &response));
+  scheduler.Cancel(id.value());  // never Release(): only the cancel frees it
+  ASSERT_TRUE(PollTryWait(scheduler, id.value(), &response));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(response.solution.size, 1);  // incumbent attached
+}
+
+TEST_F(SchedulerTest, TryWaitObservesDeadlineExpiry) {
+  // Same instance as the blocking-deadline test: seconds of enumeration
+  // against a 1 ms budget, but observed through the non-blocking probe the
+  // socket serve loop uses.
+  JobScheduler scheduler(&registry_);
+  SolveRequest request;
+  request.graph = RandomGnm(26, 120, 7).value();
+  request.k = 2;
+  request.backend = "enum";
+  request.deadline_seconds = 0.001;
+  Stopwatch watch;
+  const Result<JobId> id = scheduler.Submit(std::move(request));
+  ASSERT_TRUE(id.ok()) << id.status();
+  SolveResponse response;
+  ASSERT_TRUE(PollTryWait(scheduler, id.value(), &response));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+TEST_F(SchedulerTest, TryWaitConsumesMergedPortfolioWinner) {
+  JobScheduler scheduler(&registry_);
+  SolveRequest request = Request("bs");
+  const Result<JobId> id =
+      scheduler.SubmitPortfolio(std::move(request), {"bs", "grasp"});
+  ASSERT_TRUE(id.ok()) << id.status();
+  SolveResponse response;
+  ASSERT_TRUE(PollTryWait(scheduler, id.value(), &response));
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  // The merge ran exactly as it would for Wait(): the provably optimal
+  // racer wins and the probe hands over the merged response once.
+  EXPECT_EQ(response.solution.size, 4);
+  EXPECT_EQ(response.backend, "bs");
+  EXPECT_TRUE(scheduler.TryWait(id.value(), &response));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
 // --- Request-scoped tracing through the scheduler ----------------------------
 
 std::filesystem::path SvcEventsPath(const std::string& name) {

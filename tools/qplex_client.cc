@@ -6,7 +6,14 @@
 //                [--mode lockstep|pipeline] [--connections <int>]
 //                [--out <file|->] [--out-dir <dir>]
 //                [--record <script>] [--disconnect-after <int>]
-//                [--timeout-ms <int>]
+//                [--request-timeout-ms <int>]
+//
+// --request-timeout-ms bounds the wait for each individual response
+// (--timeout-ms is accepted as an alias). On a timeout the client exits 3
+// (vs 1 for other connection failures, 2 for usage errors) and reports how
+// many requests each failed connection had sent and how many responses it
+// had received — the responses that did arrive are already in --out, so a
+// partially-hung server still yields its partial results.
 //
 // Modes:
 //   lockstep  one request in flight per connection: send a line, wait for
@@ -63,6 +70,7 @@ struct ClientOptions {
   std::string out_dir;    // per-connection response files
   int disconnect_after = -1;  // sends before an abrupt close; -1 = never
   int timeout_ms = 30000;     // per-response receive timeout
+                              // (--request-timeout-ms / --timeout-ms)
 };
 
 void PrintUsage() {
@@ -74,7 +82,7 @@ void PrintUsage() {
          "                    [--out <file|->] [--out-dir <dir>]\n"
          "                    [--record <script>] "
          "[--disconnect-after <int>]\n"
-         "                    [--timeout-ms <int>]\n";
+         "                    [--request-timeout-ms <int>]\n";
 }
 
 Result<int> ParseIntFlag(const std::string& flag, const std::string& value) {
@@ -127,7 +135,7 @@ Result<ClientOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.disconnect_after,
                              ParseIntFlag(arg, value));
-    } else if (arg == "--timeout-ms") {
+    } else if (arg == "--request-timeout-ms" || arg == "--timeout-ms") {
       QPLEX_ASSIGN_OR_RETURN(std::string value, next());
       QPLEX_ASSIGN_OR_RETURN(options.timeout_ms, ParseIntFlag(arg, value));
     } else if (arg == "--help" || arg == "-h") {
@@ -165,7 +173,7 @@ Result<ClientOptions> ParseArgs(int argc, char** argv) {
     return Status::InvalidArgument("--connections > 1 requires --out-dir");
   }
   if (options.timeout_ms < 1) {
-    return Status::InvalidArgument("--timeout-ms must be >= 1");
+    return Status::InvalidArgument("--request-timeout-ms must be >= 1");
   }
   return options;
 }
@@ -305,6 +313,8 @@ struct ConnectionTask {
   int index = 0;
   std::vector<std::string> lines;
   Status status = Status::Ok();
+  std::size_t sent = 0;      ///< request lines written before stopping
+  std::size_t received = 0;  ///< response lines landed in --out
 };
 
 void RunConnection(const ClientOptions& options, ConnectionTask* task,
@@ -341,6 +351,7 @@ void RunConnection(const ClientOptions& options, ConnectionTask* task,
           break;
         }
         *out << response.value() << "\n";
+        ++task->received;
       }
     }
   } else {
@@ -367,10 +378,12 @@ void RunConnection(const ClientOptions& options, ConnectionTask* task,
         recorder->script << line << "\n" << std::flush;
       }
       *out << response.value() << "\n";
+      ++task->received;
     }
   }
   net::CloseFd(fd);
   out->flush();
+  task->sent = sent;
   task->status = status;
 }
 
@@ -452,14 +465,29 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Partial-results report: a failed connection says how far it got — the
+  // responses it did receive are already flushed to --out, so the caller
+  // keeps them. A timeout gets its own exit code (3) so scripts can tell a
+  // hung server from a hangup.
   int failures = 0;
+  bool timed_out = false;
   for (const ConnectionTask& task : tasks) {
-    if (!task.status.ok()) {
-      ++failures;
-      std::cerr << "conn-" << task.index << ": " << task.status << "\n";
+    if (task.status.ok()) {
+      continue;
     }
+    ++failures;
+    if (task.status.code() == StatusCode::kDeadlineExceeded) {
+      timed_out = true;
+    }
+    std::cerr << "conn-" << task.index << ": " << task.status << "\n";
+    std::cerr << "conn-" << task.index << ": partial results: sent "
+              << task.sent << "/" << task.lines.size() << " request(s), "
+              << "received " << task.received << " response(s)\n";
   }
-  return failures == 0 ? 0 : 1;
+  if (failures == 0) {
+    return 0;
+  }
+  return timed_out ? 3 : 1;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //             [--trace-tree <file|->] [--folded <file|->]
 //             [--latency <file|->] [--slo <file|-> --slo-ms <float>]
 //             [--convergence <file|->] [--convergence-timing]
+//             [--health <file|->]
 //             [--check-metrics <file>] [--fail-on-orphans]
 //
 //   --trace-tree     reconstructed span tree per job (trace/span/parent ids
@@ -21,6 +22,10 @@
 //   --convergence-timing adds wall-clock columns and the seq-ordered race
 //                    lead-change line to --convergence (off by default: the
 //                    default report is byte-stable across reruns)
+//   --health         health-subsystem summary: breaker transition counts per
+//                    backend and edge, watchdog kills per backend, admission
+//                    sheds per reason — counts only, so two same-seed
+//                    single-worker chaos runs render byte-identically
 //   --check-metrics  validates an OpenMetrics exposition with the in-repo
 //                    checker (TYPE declarations, charset, cumulative
 //                    buckets, # EOF)
@@ -34,9 +39,12 @@
 // diff them.
 //
 // Every run also validates the stream itself: incumbent timelines must
-// improve strictly and monotonically, bound timelines must tighten, and seq
+// improve strictly and monotonically, bound timelines must tighten, seq
 // stamps must not repeat (each EmitLocked line carries a process-wide
-// monotonic "seq"; duplicates mean two sinks clobbered each other).
+// monotonic "seq"; duplicates mean two sinks clobbered each other), and the
+// health events must be consistent — breaker transitions replay as a legal
+// walk of the state machine (no open->closed without a half_open probe) and
+// no watchdog kill is sequenced after its job's job_end.
 //
 // Exit codes: 0 ok, 1 validation failure (orphans/malformed metrics/journal
 // mismatch/incumbent or seq violations), 2 usage error, 3 unreadable or
@@ -65,6 +73,7 @@ struct ObsOptions {
   double slo_ms = 0;
   std::string convergence;
   bool convergence_timing = false;
+  std::string health;
   std::string check_metrics;
   bool fail_on_orphans = false;
 };
@@ -76,6 +85,7 @@ void PrintUsage() {
                "[--slo <file|-> --slo-ms <float>]\n"
                "                 [--convergence <file|->] "
                "[--convergence-timing]\n"
+               "                 [--health <file|->]\n"
                "                 [--check-metrics <file>] "
                "[--fail-on-orphans]\n";
 }
@@ -124,6 +134,8 @@ Result<ObsOptions> ParseArgs(int argc, char** argv) {
       QPLEX_ASSIGN_OR_RETURN(options.convergence, next());
     } else if (arg == "--convergence-timing") {
       options.convergence_timing = true;
+    } else if (arg == "--health") {
+      QPLEX_ASSIGN_OR_RETURN(options.health, next());
     } else if (arg == "--check-metrics") {
       QPLEX_ASSIGN_OR_RETURN(options.check_metrics, next());
     } else if (arg == "--fail-on-orphans") {
@@ -253,7 +265,21 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!opts.health.empty()) {
+    const Status written =
+        WriteOutput(opts.health, obs::FormatHealthReport(log));
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 3;
+    }
+  }
+
   int failures = 0;
+  const Status health_checked = obs::ValidateHealthEvents(log);
+  if (!health_checked.ok()) {
+    std::cerr << "health check FAILED: " << health_checked.message() << "\n";
+    ++failures;
+  }
   const std::vector<std::string> incumbent_violations =
       obs::ValidateIncumbents(log);
   if (!incumbent_violations.empty()) {
@@ -318,6 +344,9 @@ int Main(int argc, char** argv) {
             << " retries=" << log.retries << " fallbacks=" << log.fallbacks
             << " orphans=" << orphans << " incumbents=" << log.incumbents.size()
             << " bounds=" << log.bounds.size()
+            << " breaker_transitions=" << log.breaker_transitions.size()
+            << " watchdog_kills=" << log.watchdog_kills.size()
+            << " sheds=" << log.sheds.size()
             << " seq_missing=" << log.seq_missing
             << " seq_gaps=" << log.seq_gaps << "\n";
   return failures > 0 ? 1 : 0;

@@ -13,6 +13,9 @@
 //               [--max-retries N]
 //               [--max-connections N] [--idle-timeout-ms N]
 //               [--max-line-bytes N] [--port-file <file>]
+//               [--breaker-threshold N] [--breaker-cooldown N]
+//               [--watchdog-stall-ms X] [--watchdog-poll-ms X]
+//               [--shed-target-ms X]
 //
 // Requests are one JSON object per line in both modes, parsed by the single
 // svc::ParseRequestLine entry point (see src/svc/request.h for the schema),
@@ -33,6 +36,18 @@
 // response, close. A client disconnecting mid-stream degrades to a
 // per-connection error (SIGPIPE is ignored); its jobs still run and
 // journal, only the responses are dropped.
+//
+// Health (DESIGN.md section 15): --breaker-threshold N arms per-backend
+// circuit breakers (N consecutive counted failures open a backend;
+// --breaker-cooldown consultations later a half-open probe decides recovery),
+// --watchdog-stall-ms arms the wedged-job watchdog (an execution that stops
+// heartbeating for the budget is cancelled and falls back), and
+// --shed-target-ms arms adaptive admission control in socket mode (requests
+// are shed with a retry_after_ms hint once the smoothed queue delay runs past
+// the target). Socket clients can probe all of it in-band with
+// {"type": "health", "id": "..."} — answered immediately with breaker
+// states, queue depth, shed counts, and drain status; batch mode rejects
+// health lines to protect its byte-identical journal contract.
 //
 // Crash safety: --journal appends one timestamp-free JSON line per finished
 // job (the WAL), flushed line-by-line. Batch mode journals in submission
@@ -97,6 +112,12 @@ struct ServeOptions {
   int idle_timeout_ms = 0;  // 0 = connections never idle out
   std::uint64_t max_line_bytes = net::FrameSplitter::kDefaultMaxLineBytes;
   std::string port_file;  // written with the bound port once listening
+  // Health-subsystem knobs (all off by default; DESIGN.md section 15).
+  int breaker_threshold = 0;     // >0 arms per-backend circuit breakers
+  int breaker_cooldown = 8;      // open -> half-open after N consults
+  double watchdog_stall_ms = 0;  // >0 arms the wedged-job watchdog
+  double watchdog_poll_ms = 5;   // watchdog scan cadence
+  double shed_target_ms = 0;     // >0 arms adaptive admission (socket mode)
 };
 
 void PrintUsage() {
@@ -115,7 +136,12 @@ void PrintUsage() {
                "                   [--max-connections <int>] "
                "[--idle-timeout-ms <int>]\n"
                "                   [--max-line-bytes <int>] "
-               "[--port-file <file>]\n";
+               "[--port-file <file>]\n"
+               "                   [--breaker-threshold <int>] "
+               "[--breaker-cooldown <int>]\n"
+               "                   [--watchdog-stall-ms <float>] "
+               "[--watchdog-poll-ms <float>]\n"
+               "                   [--shed-target-ms <float>]\n";
 }
 
 template <typename T>
@@ -231,6 +257,23 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--port-file") {
       QPLEX_ASSIGN_OR_RETURN(options.port_file, next());
+    } else if (arg == "--breaker-threshold") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.breaker_threshold,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--breaker-cooldown") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.breaker_cooldown,
+                             ParseInt<int>(arg, value));
+    } else if (arg == "--watchdog-stall-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.watchdog_stall_ms, ParseFloat(arg, value));
+    } else if (arg == "--watchdog-poll-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.watchdog_poll_ms, ParseFloat(arg, value));
+    } else if (arg == "--shed-target-ms") {
+      QPLEX_ASSIGN_OR_RETURN(std::string value, next());
+      QPLEX_ASSIGN_OR_RETURN(options.shed_target_ms, ParseFloat(arg, value));
     } else if (arg == "--help" || arg == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -279,6 +322,26 @@ Result<ServeOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.slo_ms < 0) {
     return Status::InvalidArgument("--slo-ms must be >= 0");
+  }
+  if (options.breaker_threshold < 0) {
+    return Status::InvalidArgument("--breaker-threshold must be >= 0");
+  }
+  if (options.breaker_cooldown < 1) {
+    return Status::InvalidArgument("--breaker-cooldown must be >= 1");
+  }
+  if (options.watchdog_stall_ms < 0) {
+    return Status::InvalidArgument("--watchdog-stall-ms must be >= 0");
+  }
+  if (options.watchdog_poll_ms <= 0) {
+    return Status::InvalidArgument("--watchdog-poll-ms must be > 0");
+  }
+  if (options.shed_target_ms < 0) {
+    return Status::InvalidArgument("--shed-target-ms must be >= 0");
+  }
+  if (options.shed_target_ms > 0 && !socket_mode) {
+    return Status::InvalidArgument(
+        "--shed-target-ms applies to socket mode only (batch mode has no "
+        "admission queue to shed from)");
   }
   return options;
 }
@@ -331,6 +394,13 @@ Result<std::vector<svc::RequestSpec>> ReadJobs(const std::string& path) {
     }
     QPLEX_ASSIGN_OR_RETURN(svc::RequestSpec spec,
                            svc::ParseRequestLine(line, line_number));
+    if (spec.kind == svc::RequestKind::kHealth) {
+      // Health responses are load-dependent snapshots; letting them into a
+      // batch would poison the journal's byte-identity (--resume) contract.
+      return Status::InvalidArgument(
+          "health requests are socket-mode only (line " +
+          std::to_string(line_number) + ")");
+    }
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -541,6 +611,19 @@ std::string RenderErrorLine(const std::string& label, const Status& status) {
   return line.Dump();
 }
 
+/// Shed responses are error lines plus a retry_after_ms hint so a
+/// well-behaved client backs off for a delay the server actually measured
+/// instead of guessing.
+std::string RenderShedLine(const std::string& label, const Status& status,
+                           double retry_after_ms) {
+  obs::JsonValue line = obs::JsonValue::Object();
+  line.Set("label", label);
+  line.Set("status", std::string(StatusCodeName(status.code())));
+  line.Set("error", status.message());
+  line.Set("retry_after_ms", retry_after_ms);
+  return line.Dump();
+}
+
 /// Everything the socket front-end tracks about one admitted request.
 struct Route {
   std::uint64_t conn = 0;      ///< originating connection
@@ -562,7 +645,10 @@ class SocketFrontEnd {
  public:
   SocketFrontEnd(const ServeOptions& options, svc::JobScheduler* scheduler,
                  std::ostream* journal)
-      : options_(options), scheduler_(scheduler), journal_(journal) {}
+      : options_(options),
+        scheduler_(scheduler),
+        journal_(journal),
+        overload_(MakeOverloadOptions(options)) {}
 
   Result<SocketOutcome> Run() {
     net::ServerOptions server_options;
@@ -603,13 +689,12 @@ class SocketFrontEnd {
                       {"idle_timeout_ms", options_.idle_timeout_ms}});
     }
 
-    bool stopping = false;
     while (true) {
-      if (g_signal != 0 && !stopping) {
+      if (g_signal != 0 && !draining_) {
         // Graceful drain: no new connections, no new reads beyond what is
         // already buffered; in-flight and backlogged jobs run to completion
         // and every response flushes before exit.
-        stopping = true;
+        draining_ = true;
         outcome_.interrupted = true;
         server_->StopAccepting();
         if (obs::EventsEnabled()) {
@@ -624,12 +709,12 @@ class SocketFrontEnd {
       // 2 ms keeps completion-drain latency negligible against solve times
       // while jobs are in flight; an idle server parks in poll() for long
       // slices (interrupted early by signals or traffic either way).
-      const int timeout_ms = busy ? 2 : (stopping ? 10 : 200);
+      const int timeout_ms = busy ? 2 : (draining_ ? 10 : 200);
       QPLEX_RETURN_IF_ERROR(server_->Poll(timeout_ms));
       SubmitBacklog();
       DrainCompletions();
       server_->FlushWritable();
-      if (stopping && outstanding_.empty() && backlog_.empty()) {
+      if (draining_ && outstanding_.empty() && backlog_.empty()) {
         break;
       }
     }
@@ -641,6 +726,13 @@ class SocketFrontEnd {
   }
 
  private:
+  static resilience::OverloadOptions MakeOverloadOptions(
+      const ServeOptions& options) {
+    resilience::OverloadOptions overload;
+    overload.target_delay_ms = options.shed_target_ms;
+    return overload;
+  }
+
   void OnLine(std::uint64_t conn, std::string line) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') {
@@ -658,19 +750,43 @@ class SocketFrontEnd {
       server_->Send(conn, RenderErrorLine("", parsed.status()) + "\n");
       return;
     }
+    if (parsed.value().kind == svc::RequestKind::kHealth) {
+      // Health probes bypass admission entirely — they are how a client
+      // finds out *why* it is being shed, so shedding them would be
+      // self-defeating. Answered in place, never journaled.
+      server_->Send(conn,
+                    RenderHealthLine(parsed.value().request.label) + "\n");
+      ++outcome_.responses;
+      return;
+    }
     // Scheduler backpressure composes outward: a full admission queue parks
-    // requests here, and once the backlog itself is a queue-capacity deep,
-    // further requests are shed with an explicit error instead of buffering
-    // without bound.
-    if (backlog_.size() >= static_cast<std::size_t>(options_.queue_cap)) {
+    // requests here; once the backlog itself is a queue-capacity deep — or
+    // the smoothed queue delay has run past --shed-target-ms — further
+    // requests are shed with an explicit ResourceExhausted carrying a
+    // retry_after_ms hint instead of buffering without bound.
+    const resilience::OverloadController::Decision admit = overload_.Admit(
+        backlog_.size(), static_cast<std::size_t>(options_.queue_cap),
+        scheduler_->OpenBreakerCount());
+    if (!admit.admit) {
       ++outcome_.shed;
       obs::MetricsRegistry::Global().GetCounter("net.requests.shed")
           .Increment();
-      server_->Send(
-          conn, RenderErrorLine(parsed.value().request.label,
-                                Status::ResourceExhausted(
-                                    "admission queue and backlog full")) +
-                    "\n");
+      const std::string reason = admit.reason;
+      const std::string message = reason == "backlog_full"
+                                      ? "admission queue and backlog full"
+                                      : "queue delay over shed target; "
+                                        "retry later";
+      server_->Send(conn, RenderShedLine(parsed.value().request.label,
+                                         Status::ResourceExhausted(message),
+                                         admit.retry_after_ms) +
+                              "\n");
+      if (obs::EventsEnabled()) {
+        obs::EmitEvent(obs::EventLevel::kWarn, "svc", "admission_shed",
+                       {{"label", parsed.value().request.label},
+                        {"reason", reason},
+                        {"backlog",
+                         static_cast<std::int64_t>(backlog_.size())}});
+      }
       return;
     }
     backlog_.push_back(Backlogged{conn, std::move(parsed).value()});
@@ -679,6 +795,7 @@ class SocketFrontEnd {
 
   void OnClose(std::uint64_t conn) {
     conn_lines_.erase(conn);
+    conn_outstanding_.erase(conn);  // the server forgot the pin with the fd
     // Jobs already admitted for this connection keep running (and keep their
     // journal slot — the WAL narrates admitted work, not deliveries); their
     // responses will be dropped by Send() and counted.
@@ -715,6 +832,12 @@ class SocketFrontEnd {
       route.label = next.spec.request.label;
       route.admission = next_admission_++;
       outstanding_.emplace(submitted.value(), route);
+      // Pin the connection against the idle timeout while it has admitted
+      // work in the scheduler: its inbound side may go silent for the whole
+      // solve, and idling it out would drop the response it is owed.
+      if (++conn_outstanding_[next.conn] == 1) {
+        server_->SetIdleExempt(next.conn, true);
+      }
       obs::MetricsRegistry::Global()
           .GetGauge("net.requests.outstanding_max")
           .SetMax(static_cast<double>(outstanding_.size()));
@@ -738,6 +861,12 @@ class SocketFrontEnd {
       }
       const Route route = outstanding_.at(id);
       outstanding_.erase(id);
+      if (auto pinned = conn_outstanding_.find(route.conn);
+          pinned != conn_outstanding_.end() && --pinned->second == 0) {
+        conn_outstanding_.erase(pinned);
+        server_->SetIdleExempt(route.conn, false);
+      }
+      overload_.RecordQueueDelay(response.metrics.queue_seconds * 1e3);
       if (!response.status.ok()) {
         ++outcome_.failures;
       }
@@ -759,6 +888,45 @@ class SocketFrontEnd {
     }
   }
 
+  /// The in-band health response ({"type": "health"}): breaker states,
+  /// queue/backlog depths, shed counters, and drain status, rendered from
+  /// live state at answer time. Schema documented in DESIGN.md section 15.
+  std::string RenderHealthLine(const std::string& label) const {
+    obs::JsonValue line = obs::JsonValue::Object();
+    line.Set("label", label);
+    line.Set("status", std::string(StatusCodeName(StatusCode::kOk)));
+    line.Set("type", "health");
+    line.Set("draining", draining_);
+    line.Set("backlog", static_cast<std::int64_t>(backlog_.size()));
+    line.Set("outstanding", static_cast<std::int64_t>(outstanding_.size()));
+    line.Set("queue_depth",
+             static_cast<std::int64_t>(scheduler_->QueueDepth()));
+    line.Set("requests", outcome_.requests);
+    line.Set("responses", outcome_.responses);
+    line.Set("shed", outcome_.shed);
+    line.Set("delay_ewma_ms", overload_.delay_ewma_ms());
+    line.Set("watchdog_kills", scheduler_->WatchdogKills());
+    line.Set("breakers_enabled", scheduler_->breakers_enabled());
+    line.Set("open_breakers", scheduler_->OpenBreakerCount());
+    obs::JsonValue breakers = obs::JsonValue::Array();
+    for (const resilience::BreakerSnapshot& snapshot :
+         scheduler_->BreakerSnapshots()) {
+      obs::JsonValue entry = obs::JsonValue::Object();
+      entry.Set("backend", snapshot.backend);
+      entry.Set("state",
+                std::string(resilience::BreakerStateName(snapshot.state)));
+      entry.Set("consecutive_failures", snapshot.consecutive_failures);
+      entry.Set("cooldown_remaining", snapshot.cooldown_remaining);
+      entry.Set("opened", snapshot.opened);
+      entry.Set("closed", snapshot.closed);
+      entry.Set("short_circuits", snapshot.short_circuits);
+      entry.Set("probes", snapshot.probes);
+      breakers.Append(std::move(entry));
+    }
+    line.Set("breakers", std::move(breakers));
+    return line.Dump();
+  }
+
   struct Backlogged {
     std::uint64_t conn = 0;
     svc::RequestSpec spec;
@@ -768,12 +936,17 @@ class SocketFrontEnd {
   svc::JobScheduler* scheduler_;
   std::ostream* journal_;
   std::unique_ptr<net::Server> server_;
+  resilience::OverloadController overload_;
   std::deque<Backlogged> backlog_;
   std::map<svc::JobId, Route> outstanding_;
   std::unordered_map<std::uint64_t, int> conn_lines_;
+  /// Admitted-but-unanswered job count per connection; non-zero pins the
+  /// connection against the idle timeout (see net::Server::SetIdleExempt).
+  std::unordered_map<std::uint64_t, int> conn_outstanding_;
   std::map<std::uint64_t, std::string> journal_lines_;
   std::uint64_t next_admission_ = 0;
   std::uint64_t journal_flushed_ = 0;
+  bool draining_ = false;
   SocketOutcome outcome_;
 };
 
@@ -934,6 +1107,13 @@ int Main(int argc, char** argv) {
   scheduler_options.enable_cache = options.value().cache;
   scheduler_options.retry.max_retries = options.value().max_retries;
   scheduler_options.slo_latency_ms = options.value().slo_ms;
+  scheduler_options.enable_breakers = options.value().breaker_threshold > 0;
+  scheduler_options.breaker.failure_threshold =
+      options.value().breaker_threshold;
+  scheduler_options.breaker.cooldown_consults =
+      options.value().breaker_cooldown;
+  scheduler_options.watchdog_stall_ms = options.value().watchdog_stall_ms;
+  scheduler_options.watchdog_poll_ms = options.value().watchdog_poll_ms;
 
   if (obs::EventsEnabled()) {
     obs::EmitEvent(obs::EventLevel::kInfo, "svc", "batch_start",
